@@ -1,0 +1,44 @@
+"""Section 6.4 (Program 3): finding the faulty loop iteration."""
+
+from __future__ import annotations
+
+from repro.core import LoopIterationLocalizer, Specification
+from repro.lang import parse_program
+
+SQUAREROOT = """\
+int squareroot(int val) {
+    int i = 1;
+    int v = 0;
+    int res = 0;
+    while (v < val) {
+        v = v + 2 * i + 1;
+        i = i + 1;
+    }
+    res = i;
+    assert(res * res <= val && (res + 1) * (res + 1) > val);
+    return res;
+}
+int main(int val) { assume(val > 0); return squareroot(val); }
+"""
+
+
+def test_loop_iteration_localization(benchmark):
+    program = parse_program(SQUAREROOT, name="squareroot")
+    localizer = LoopIterationLocalizer(program)
+
+    def run():
+        return localizer.localize([50], Specification.assertion())
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Section 6.4 — faulty loop iteration (squareroot, val = 50)")
+    print(f"loop guard evaluations (eta): {report.eta}")
+    print(f"candidate lines: {report.lines}")
+    for line in sorted(report.iteration_candidates):
+        print(f"  line {line}: iterations {sorted(set(report.iteration_candidates[line]))}")
+    # The post-loop assignment (the paper's intended fix) is reported, and the
+    # loop statements carry iteration information up to the 8th guard check.
+    assert 9 in report.lines
+    assert report.eta == 8
+    assert report.iteration_candidates
+    assert max(max(v) for v in report.iteration_candidates.values()) <= 8

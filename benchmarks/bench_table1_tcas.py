@@ -1,0 +1,64 @@
+"""Table 1: BugAssist on the TCAS versions of the Siemens suite.
+
+For every selected faulty version the harness reports the paper's columns:
+TC# (failing tests), Error# (injected errors), Detect# (runs reporting the
+true fault line), SizeReduc% and the per-run time.  Scale with the
+environment variables documented in ``benchmarks/conftest.py``
+(``BUGASSIST_TCAS_VERSIONS=all BUGASSIST_TESTS_PER_VERSION=all`` reproduces
+the full protocol).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import tcas_pool_size, tcas_versions_under_test, tests_per_version
+from repro.siemens import run_tcas_version, tcas_fault
+from repro.siemens.suite import tcas_total_lines
+
+VERSIONS = tcas_versions_under_test()
+
+_results = {}
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_table1_row(benchmark, version):
+    """One Table 1 row: localize failing tests of a faulty TCAS version."""
+
+    def run():
+        return run_tcas_version(
+            version,
+            test_count=tcas_pool_size(),
+            max_localized_tests=tests_per_version(),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[version] = result
+    assert result.failing_tests > 0
+    assert result.runs > 0
+    # The localization must always return at least one candidate location and
+    # keep the inspection set far below the whole program.
+    assert result.reported_lines
+    assert result.size_reduction_percent(tcas_total_lines()) < 60.0
+
+
+def test_table1_report():
+    """Print the aggregated Table 1 after the per-version rows have run."""
+    if not _results:
+        pytest.skip("no version rows were collected")
+    total_lines = tcas_total_lines()
+    print()
+    print("Table 1 — BugAssist on the TCAS task")
+    print(f"{'Ver':>4} {'TC#':>5} {'Err#':>4} {'Runs':>4} {'Detect#':>7} "
+          f"{'SizeReduc%':>10} {'Time(s)':>8} {'Type':>8}")
+    detected_total = runs_total = 0
+    for version, row in sorted(_results.items()):
+        fault = tcas_fault(version)
+        detected_total += row.detected
+        runs_total += row.runs
+        print(f"{version:>4} {row.failing_tests:>5} {row.errors:>4} {row.runs:>4} "
+              f"{row.detected:>7} {row.size_reduction_percent(total_lines):>10.1f} "
+              f"{row.mean_time:>8.2f} {fault.error_type.value:>8}")
+    rate = 100.0 * detected_total / runs_total if runs_total else 0.0
+    print(f"exact fault location reported in {detected_total}/{runs_total} runs ({rate:.0f}%)")
+    assert rate >= 60.0

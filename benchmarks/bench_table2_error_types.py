@@ -1,0 +1,25 @@
+"""Table 2: the error-type taxonomy of the injected TCAS faults."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.siemens import TCAS_FAULTS
+from repro.siemens.faults import ErrorType
+
+
+def test_table2_error_types(benchmark):
+    """Every Table 2 error type is represented in the fault catalogue."""
+
+    def classify():
+        return Counter(fault.error_type for fault in TCAS_FAULTS)
+
+    counts = benchmark(classify)
+    print()
+    print("Table 2 — Types of injected errors")
+    print(f"{'Error type':>10}  {'#versions':>9}  explanation")
+    for error_type in ErrorType:
+        print(f"{error_type.value:>10}  {counts[error_type]:>9}  {error_type.explanation()}")
+    assert set(counts) == set(ErrorType)
+    # Operator faults dominate, as in the paper's Table 1.
+    assert counts[ErrorType.OPERATOR] >= 10

@@ -1,0 +1,51 @@
+"""Table 3: BugAssist on the larger Siemens-style programs with trace reduction.
+
+Each row reports the size of the dynamic error trace and of the MaxSAT
+instance before and after applying the benchmark's designated reduction
+technique (S = slicing, C = concolic simulation, D = delta debugging), the
+number of reported fault locations, and the run time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.siemens.programs import LARGE_BENCHMARKS
+from repro.siemens.suite import run_large_benchmark
+
+_rows = {}
+
+
+@pytest.mark.parametrize("benchmark_case", LARGE_BENCHMARKS, ids=lambda b: b.name)
+def test_table3_row(benchmark, benchmark_case):
+    def run():
+        return run_large_benchmark(benchmark_case)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows[benchmark_case.name] = row
+    # The reduction must never grow the instance and the localizer must
+    # report a small candidate set.
+    assert row.clauses_after <= row.clauses_before
+    assert row.variables_after <= row.variables_before
+    assert 1 <= row.fault_candidates <= 25
+
+
+def test_table3_report():
+    if not _rows:
+        pytest.skip("no Table 3 rows were collected")
+    print()
+    print("Table 3 — larger benchmarks with trace reduction")
+    print(f"{'Program':14} {'Reduc':5} {'LOC':>4} {'Proc#':>5} "
+          f"{'assign# (before/after)':>23} {'var# (before/after)':>21} "
+          f"{'clause# (before/after)':>23} {'Fault#':>6} {'time(s)':>8}")
+    for name, row in _rows.items():
+        print(f"{name:14} {row.reduction:5} {row.loc:>4} {row.procedures:>5} "
+              f"{row.assignments_before:>11}/{row.assignments_after:<11} "
+              f"{row.variables_before:>10}/{row.variables_after:<10} "
+              f"{row.clauses_before:>11}/{row.clauses_after:<11} "
+              f"{row.fault_candidates:>6} {row.time_seconds:>8.2f}")
+    # At least the slicing- and concolic-reduced programs shrink noticeably.
+    shrunk = [
+        row for row in _rows.values() if row.clauses_after < row.clauses_before
+    ]
+    assert len(shrunk) >= 2

@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Environment variables scale the experiments:
+
+* ``BUGASSIST_TCAS_VERSIONS`` — comma-separated TCAS versions for Table 1
+  (default: a representative subset; ``all`` runs every version as in the
+  paper).
+* ``BUGASSIST_TCAS_TESTS`` — size of the TCAS test pool (default 600; the
+  paper uses 1600).
+* ``BUGASSIST_TESTS_PER_VERSION`` — failing tests localized per version
+  (default 2; ``all`` reproduces the full 1440-run protocol).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def tcas_versions_under_test() -> list[str]:
+    from repro.siemens import tcas_versions
+
+    value = os.environ.get("BUGASSIST_TCAS_VERSIONS", "")
+    if value.strip().lower() == "all":
+        return tcas_versions()
+    if value.strip():
+        return [version.strip() for version in value.split(",") if version.strip()]
+    return ["v1", "v2", "v13", "v16", "v22", "v28", "v37", "v40", "v41"]
+
+
+def tcas_pool_size() -> int:
+    return int(os.environ.get("BUGASSIST_TCAS_TESTS", "600"))
+
+
+def tests_per_version() -> int | None:
+    value = os.environ.get("BUGASSIST_TESTS_PER_VERSION", "2")
+    if value.strip().lower() == "all":
+        return None
+    return int(value)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Section 6.4: find the faulty loop iteration of the square-root program.
+
+Run with ``python examples/loop_debugging.py``.
+"""
+
+from repro.core import LoopIterationLocalizer, Specification
+from repro.lang import Interpreter, parse_program
+
+SOURCE = """\
+int squareroot(int val) {
+    int i = 1;
+    int v = 0;
+    int res = 0;
+    while (v < val) {
+        v = v + 2 * i + 1;
+        i = i + 1;
+    }
+    res = i;
+    assert(res * res <= val && (res + 1) * (res + 1) > val);
+    return res;
+}
+int main(int val) { assume(val > 0); return squareroot(val); }
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE, name="squareroot")
+    run = Interpreter(program).run([50])
+    print(f"squareroot(50) returns {run.return_value} and the post-condition "
+          f"assertion fails = {run.assertion_failed} (correct answer is 7)")
+
+    localizer = LoopIterationLocalizer(program)
+    report = localizer.localize([50], Specification.assertion())
+    print()
+    print(f"the loop guard was evaluated eta = {report.eta} times")
+    print(f"candidate fix lines: {report.lines}")
+    for line in sorted(report.iteration_candidates):
+        iterations = sorted(set(report.iteration_candidates[line]))
+        print(f"  line {line}: fixable at iterations {iterations} "
+              f"(reported iteration {report.reported_iteration(line)})")
+    print()
+    print("line 9 (res = i) outside the loop is the paper's intended fix; the "
+          "loop statements are reported together with the iteration at which "
+          "a change can still avert the failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim so that ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` work in offline environments without the
+``wheel`` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""BugAssist reproduction: error localization using maximum satisfiability.
+
+This package reproduces the system described in "Cause Clue Clauses: Error
+Localization using Maximum Satisfiability" (Jose & Majumdar, PLDI 2011).
+
+Layering, bottom-up:
+
+* :mod:`repro.sat` — CDCL SAT solver with assumptions and assumption cores.
+* :mod:`repro.maxsat` — partial weighted MaxSAT (core-guided and linear
+  search), MSS/MCS (CoMSS) extraction and enumeration.
+* :mod:`repro.lang` — the mini-C language: parser, type checker and a
+  reference interpreter used for golden outputs.
+* :mod:`repro.cfg` — program/CFG model and static slicing.
+* :mod:`repro.encoding` — bit-precise (bit-blasted) encoding of statements
+  into CNF with per-statement selector variables (clause groups).
+* :mod:`repro.bmc` — bounded model checking: whole-program unrolling,
+  assertion checking and counterexample/test extraction (CBMC replacement).
+* :mod:`repro.concolic` — concolic tracer: runs a test concretely and emits
+  the trace formula for the executed path.
+* :mod:`repro.reduction` — trace reduction: dynamic slicing, concretization
+  and ddmin delta debugging.
+* :mod:`repro.core` — the BugAssist algorithms: localization (Algorithm 1),
+  ranking, off-by-one/operator repair (Algorithm 2) and loop-iteration
+  localization.
+* :mod:`repro.siemens` — the Siemens-style benchmark programs (TCAS with 41
+  injected-fault versions, tot_info, print_tokens, schedule, schedule2).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,470 @@
+"""Whole-program bounded model checking over the mini-C language.
+
+The checker symbolically executes the entry function with *guarded updates*:
+every statement is encoded under a path-guard literal, assignments become
+multiplexers between the new and old value, loops are unrolled up to the
+``unwind`` bound (with a CBMC-style unwinding assumption that the loop has
+terminated), and function calls are inlined up to ``max_call_depth``.
+
+Two front doors are provided:
+
+* :meth:`BoundedModelChecker.find_counterexample` — the CBMC role in
+  Section 4.1: find a concrete input violating some assertion.
+* :meth:`BoundedModelChecker.encode_program_formula` — the CBMC role in the
+  localization pipeline: produce "the entire boolean representation of the
+  program" (Section 6.2) with one clause group per source statement, the
+  failing test pinned as hard clauses, and the post-condition asserted to
+  hold — i.e. the extended trace formula used for the TCAS experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.encoding.circuits import Bits, CircuitBuilder
+from repro.encoding.context import EncodingContext, StatementGroup
+from repro.encoding.symbolic import ExpressionEncoder
+from repro.encoding.trace import TraceFormula, TraceStep
+from repro.lang import ast
+from repro.lang.semantics import DEFAULT_WIDTH, wrap
+from repro.sat import Solver
+from repro.spec import Specification
+
+
+@dataclass
+class Counterexample:
+    """A concrete failing test found by bounded model checking."""
+
+    inputs: dict[str, int]
+    nondet_values: list[int]
+    violated_line: int
+
+    def as_test(self) -> list[int]:
+        """Input values in entry-function parameter order."""
+        return list(self.inputs.values())
+
+
+@dataclass
+class _Frame:
+    """Symbolic activation record for the guarded-update encoding."""
+
+    function: str
+    variables: dict[str, object] = field(default_factory=dict)
+    active: int = 0  # literal: "this frame has not returned yet"
+    return_value: Optional[Bits] = None
+
+
+class BoundedModelChecker:
+    """Bit-precise whole-program encoding, assertion checking and formulas."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        width: int = DEFAULT_WIDTH,
+        unwind: int = 16,
+        max_call_depth: int = 24,
+        group_statements: bool = False,
+        hard_functions: Iterable[str] = (),
+    ) -> None:
+        """Configure the checker.
+
+        With ``group_statements`` the clauses of every statement are routed
+        into a per-line clause group (needed for localization); functions in
+        ``hard_functions`` keep their clauses hard (library code that is not
+        a candidate bug location).
+        """
+        self.program = program
+        self.width = width
+        self.unwind = unwind
+        self.max_call_depth = max_call_depth
+        self.group_statements = group_statements
+        self.hard_functions = set(hard_functions)
+
+    # ------------------------------------------------------------------ API
+
+    def find_counterexample(self, entry: str = "main") -> Optional[Counterexample]:
+        """Return a failing test for some assertion, or ``None`` within the bound."""
+        input_bits, _ = self._encode(entry)
+        builder = self._builder
+        if not self._violations:
+            return None
+        solver = Solver()
+        solver.ensure_vars(self._context.num_vars)
+        for clause in self._context.hard:
+            solver.add_clause(clause)
+        for clauses in self._context.groups.values():
+            for clause in clauses:
+                solver.add_clause(clause)
+        solver.add_clause([lit for _, lit in self._violations])
+        if not solver.solve():
+            return None
+        model = solver.get_model()
+        inputs = {name: builder.decode(bits, model) for name, bits in input_bits.items()}
+        nondet_values = [builder.decode(bits, model) for bits in self._nondet_bits]
+        violated_line = next(
+            (line for line, lit in self._violations if _lit_true(lit, model, builder)),
+            self._violations[0][0],
+        )
+        return Counterexample(
+            inputs=inputs, nondet_values=nondet_values, violated_line=violated_line
+        )
+
+    def holds(self, entry: str = "main") -> bool:
+        """True when no assertion violation exists within the bound."""
+        return self.find_counterexample(entry=entry) is None
+
+    def encode_program_formula(
+        self,
+        inputs: Sequence[int] | Mapping[str, int],
+        spec: Specification,
+        entry: str = "main",
+        nondet_values: Sequence[int] = (),
+    ) -> TraceFormula:
+        """Encode the whole program with the failing test and post-condition.
+
+        The returned :class:`TraceFormula` has the test-input equalities and
+        the specification as hard clauses and one clause group per statement,
+        ready to be turned into the partial MaxSAT instance of Algorithm 1.
+        Requires the checker to have been built with ``group_statements=True``.
+        """
+        input_bits, return_bits = self._encode(entry)
+        builder = self._builder
+        function = self.program.function(entry)
+        test_inputs: dict[str, int] = {}
+        values = self._input_values(function, inputs)
+        for name, bits in input_bits.items():
+            builder_value = values[name]
+            with self._context.group(None):
+                builder.fix_to_value(bits, builder_value)
+            test_inputs[name] = builder_value
+        for index, bits in enumerate(self._nondet_bits):
+            value = wrap(
+                nondet_values[index] if index < len(nondet_values) else 0, self.width
+            )
+            with self._context.group(None):
+                builder.fix_to_value(bits, value)
+            test_inputs[f"nondet#{index}"] = value
+
+        if spec.kind == "assertion":
+            for _, violation in self._violations:
+                self._context.emit_hard([-violation])
+        elif spec.kind in ("return-value", "golden-output"):
+            if return_bits is None:
+                raise ValueError(f"entry function {entry!r} does not return a value")
+            expected = spec.expected[-1] if spec.expected else 0
+            with self._context.group(None):
+                builder.fix_to_value(return_bits, expected)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported specification kind {spec.kind!r}")
+
+        return TraceFormula.from_context(
+            self._context,
+            steps=self._steps,
+            test_inputs=test_inputs,
+            assertion_description=spec.describe(),
+        )
+
+    # ----------------------------------------------------- resolver protocol
+
+    def read_scalar(self, name: str, line: int) -> Bits:
+        for scope in (self._frames[-1].variables, self._globals):
+            if name in scope:
+                value = scope[name]
+                if isinstance(value, tuple):
+                    return value
+        raise KeyError(f"line {line}: undeclared variable {name!r}")
+
+    def read_array(self, name: str, line: int) -> list[Bits]:
+        for scope in (self._frames[-1].variables, self._globals):
+            if name in scope:
+                value = scope[name]
+                if isinstance(value, list):
+                    return value
+        raise KeyError(f"line {line}: undeclared array {name!r}")
+
+    def encode_call(self, call: ast.Call) -> Bits:
+        builder = self._builder
+        if call.name == "nondet":
+            bits = builder.fresh()
+            self._nondet_bits.append(bits)
+            return bits
+        if len(self._frames) > self.max_call_depth:
+            # Recursion beyond the bound: treat the result as unconstrained.
+            return builder.fresh()
+        callee = self.program.function(call.name)
+        frame = _Frame(function=call.name, active=builder.true)
+        for param, arg in zip(callee.params, call.args):
+            frame.variables[param] = self._encoder.encode(arg)
+        guard = self._current_guard
+        self._run_function(callee, frame, guard)
+        if frame.return_value is None:
+            return builder.const(0)
+        return frame.return_value
+
+    def concrete_value(self, expr: ast.Expr) -> Optional[int]:
+        return None
+
+    # --------------------------------------------------------------- running
+
+    def _encode(self, entry: str) -> tuple[dict[str, Bits], Optional[Bits]]:
+        """Encode the whole program; returns (input bit-vectors, return bits)."""
+        self._context = EncodingContext(self.width)
+        self._builder = CircuitBuilder(self._context)
+        self._encoder = ExpressionEncoder(self._builder, self)
+        self._violations: list[tuple[int, int]] = []
+        self._nondet_bits: list[Bits] = []
+        self._frames: list[_Frame] = []
+        self._globals: dict[str, object] = {}
+        self._steps: list[TraceStep] = []
+
+        builder = self._builder
+        self._current_guard = builder.true
+        self._initialize_globals()
+        function = self.program.function(entry)
+        frame = _Frame(function=entry, active=builder.true)
+        input_bits: dict[str, Bits] = {}
+        for param in function.params:
+            bits = builder.fresh()
+            frame.variables[param] = bits
+            input_bits[param] = bits
+        self._run_function(function, frame, builder.true)
+        return input_bits, frame.return_value
+
+    def _input_values(
+        self, function: ast.Function, inputs: Sequence[int] | Mapping[str, int]
+    ) -> dict[str, int]:
+        if isinstance(inputs, Mapping):
+            missing = [name for name in function.params if name not in inputs]
+            if missing:
+                raise ValueError(f"missing inputs for parameters {missing}")
+            return {name: wrap(int(inputs[name]), self.width) for name in function.params}
+        values = list(inputs)
+        if len(values) != len(function.params):
+            raise ValueError(
+                f"{function.name} expects {len(function.params)} inputs, got {len(values)}"
+            )
+        return {
+            name: wrap(int(value), self.width)
+            for name, value in zip(function.params, values)
+        }
+
+    def _initialize_globals(self) -> None:
+        builder = self._builder
+        root = _Frame(function="<globals>", active=builder.true)
+        self._frames.append(root)
+        try:
+            for decl in self.program.globals:
+                if isinstance(decl, ast.VarDecl):
+                    bits = (
+                        self._encoder.encode(decl.init)
+                        if decl.init is not None
+                        else builder.const(0)
+                    )
+                    self._globals[decl.name] = bits
+                    root.variables[decl.name] = bits
+                else:
+                    cells = [builder.const(0)] * decl.size
+                    for index, expr in enumerate(decl.init):
+                        cells[index] = self._encoder.encode(expr)
+                    self._globals[decl.name] = cells
+                    root.variables[decl.name] = cells
+        finally:
+            self._frames.pop()
+
+    def _run_function(self, function: ast.Function, frame: _Frame, guard: int) -> None:
+        builder = self._builder
+        frame.return_value = builder.const(0) if function.returns_value else None
+        self._frames.append(frame)
+        previous_guard = self._current_guard
+        try:
+            self._exec_block(function.body, guard)
+        finally:
+            self._frames.pop()
+            self._current_guard = previous_guard
+
+    def _exec_block(self, statements: tuple[ast.Stmt, ...], guard: int) -> None:
+        for stmt in statements:
+            self._exec(stmt, guard)
+
+    def _effective(self, guard: int) -> int:
+        return self._builder.bit_and(guard, self._frames[-1].active)
+
+    def _group_for(self, stmt: ast.Stmt) -> Optional[StatementGroup]:
+        if not self.group_statements:
+            return None
+        function = self._frames[-1].function
+        if function in self.hard_functions:
+            return None
+        return StatementGroup(line=stmt.line, function=function)
+
+    def _record(self, stmt: ast.Stmt, kind: str) -> None:
+        self._steps.append(
+            TraceStep(line=stmt.line, function=self._frames[-1].function, kind=kind)
+        )
+
+    def _exec(self, stmt: ast.Stmt, guard: int) -> None:
+        builder = self._builder
+        self._current_guard = self._effective(guard)
+        frame = self._frames[-1]
+        group = self._group_for(stmt)
+        if isinstance(stmt, ast.VarDecl):
+            # The clauses defining the *written value* belong to the statement
+            # group (so relaxing the statement lets the value become
+            # arbitrary); the guard multiplexer stays hard, so statements on
+            # untaken paths can never explain the failure.
+            with self._context.group(group):
+                init = (
+                    self._encoder.encode(stmt.init)
+                    if stmt.init is not None
+                    else builder.const(0)
+                )
+                written = builder.fresh()
+                builder.assert_equal(written, init)
+            previous = frame.variables.get(stmt.name, builder.const(0))
+            if not isinstance(previous, tuple):
+                previous = builder.const(0)
+            frame.variables[stmt.name] = builder.mux(
+                self._effective(guard), written, previous
+            )
+            self._record(stmt, "decl")
+        elif isinstance(stmt, ast.ArrayDecl):
+            with self._context.group(group):
+                cells = []
+                for index in range(stmt.size):
+                    if index < len(stmt.init):
+                        value = self._encoder.encode(stmt.init[index])
+                    else:
+                        value = builder.const(0)
+                    written = builder.fresh()
+                    builder.assert_equal(written, value)
+                    cells.append(written)
+            frame.variables[stmt.name] = cells
+            self._record(stmt, "decl")
+        elif isinstance(stmt, ast.Assign):
+            with self._context.group(group):
+                value = self._encoder.encode(stmt.value)
+                written = builder.fresh()
+                builder.assert_equal(written, value)
+            self._assign_scalar(stmt.name, written, guard)
+            self._record(stmt, "assign")
+        elif isinstance(stmt, ast.ArrayAssign):
+            self._assign_array(stmt, guard, group)
+            self._record(stmt, "array-assign")
+        elif isinstance(stmt, ast.If):
+            condition = self._encode_condition(stmt.cond, group)
+            self._record(stmt, "branch")
+            self._exec_block(stmt.then_body, builder.bit_and(guard, condition))
+            self._exec_block(stmt.else_body, builder.bit_and(guard, -condition))
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, guard, group)
+        elif isinstance(stmt, ast.Return):
+            effective = self._effective(guard)
+            if stmt.value is not None and frame.return_value is not None:
+                with self._context.group(group):
+                    value = self._encoder.encode(stmt.value)
+                    written = builder.fresh()
+                    builder.assert_equal(written, value)
+                frame.return_value = builder.mux(effective, written, frame.return_value)
+            frame.active = builder.bit_and(frame.active, -effective)
+            self._record(stmt, "return")
+        elif isinstance(stmt, ast.Assert):
+            # The assertion is the specification, not a candidate bug
+            # location: its condition is encoded in the hard context.
+            with self._context.group(None):
+                condition = self._encoder.encode_bool(stmt.cond)
+                violation = builder.bit_and(self._effective(guard), -condition)
+            if builder._const_value(violation) is not False:
+                self._violations.append((stmt.line, violation))
+            self._record(stmt, "assert")
+        elif isinstance(stmt, ast.Assume):
+            with self._context.group(group):
+                condition = self._encoder.encode_bool(stmt.cond)
+            self._context.emit_hard([-self._effective(guard), condition])
+            self._record(stmt, "assume")
+        elif isinstance(stmt, ast.ExprStmt):
+            with self._context.group(group):
+                self._encoder.encode(stmt.expr)
+            self._record(stmt, "call")
+        elif isinstance(stmt, ast.Print):
+            with self._context.group(group):
+                self._encoder.encode(stmt.value)
+            self._record(stmt, "print")
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(f"statement {type(stmt).__name__}")
+
+    def _encode_condition(self, cond: ast.Expr, group: Optional[StatementGroup]) -> int:
+        """Encode a branch/loop condition with its own relaxable copy."""
+        builder = self._builder
+        with self._context.group(group):
+            raw = self._encoder.encode_bool(cond)
+            if builder._const_value(raw) is not None or group is None:
+                # Constant conditions (or hard contexts) need no copy.
+                condition = raw
+            else:
+                condition = self._context.new_var()
+                self._context.emit([-condition, raw])
+                self._context.emit([condition, -raw])
+        return condition
+
+    def _exec_while(
+        self, stmt: ast.While, guard: int, group: Optional[StatementGroup]
+    ) -> None:
+        builder = self._builder
+        path = guard
+        for _ in range(self.unwind):
+            condition = self._encode_condition(stmt.cond, group)
+            self._record(stmt, "loop-guard")
+            path = builder.bit_and(path, condition)
+            if builder._const_value(path) is False:
+                return
+            self._exec_block(stmt.body, path)
+        # Unwinding assumption: after `unwind` iterations the loop must exit.
+        with self._context.group(None):
+            condition = self._encoder.encode_bool(stmt.cond)
+        still_running = builder.bit_and(self._effective(path), condition)
+        self._context.emit_hard([-still_running])
+
+    # ------------------------------------------------------------- mutation
+
+    def _assign_scalar(self, name: str, value: Bits, guard: int) -> None:
+        builder = self._builder
+        frame = self._frames[-1]
+        effective = self._effective(guard)
+        for scope in (frame.variables, self._globals):
+            if name in scope and isinstance(scope[name], tuple):
+                scope[name] = builder.mux(effective, value, scope[name])
+                return
+        frame.variables[name] = builder.mux(effective, value, builder.const(0))
+
+    def _assign_array(
+        self, stmt: ast.ArrayAssign, guard: int, group: Optional[StatementGroup]
+    ) -> None:
+        builder = self._builder
+        effective = self._effective(guard)
+        with self._context.group(group):
+            index_raw = self._encoder.encode(stmt.index)
+            value_raw = self._encoder.encode(stmt.value)
+            index_bits = builder.fresh()
+            builder.assert_equal(index_bits, index_raw)
+            value_bits = builder.fresh()
+            builder.assert_equal(value_bits, value_raw)
+        cells = self.read_array(stmt.name, stmt.line)
+        new_cells: list[Bits] = []
+        for position, cell in enumerate(cells):
+            here = builder.bit_and(
+                effective, builder.equals(index_bits, builder.const(position))
+            )
+            new_cells.append(builder.mux(here, value_bits, cell))
+        for scope in (self._frames[-1].variables, self._globals):
+            if stmt.name in scope and isinstance(scope[stmt.name], list):
+                scope[stmt.name] = new_cells
+                return
+
+
+def _lit_true(lit: int, model: dict[int, bool], builder: CircuitBuilder) -> bool:
+    constant = builder._const_value(lit)
+    if constant is not None:
+        return constant
+    value = model.get(abs(lit), False)
+    return value if lit > 0 else not value

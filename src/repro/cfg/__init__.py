@@ -1,0 +1,24 @@
+"""Program-dependence utilities: def/use sets, call graph, static slicing.
+
+The paper models a program as a transition system (X, L, l0, T); for trace
+reduction it relies on program slicing.  This package provides the static
+dependence information the slicer in :mod:`repro.reduction` needs:
+per-statement defined/used variable sets, the call graph, and a
+flow-insensitive backward slice at line granularity.
+"""
+
+from repro.cfg.defuse import (
+    statement_defs,
+    statement_uses,
+    called_functions,
+    call_graph,
+    backward_slice_lines,
+)
+
+__all__ = [
+    "statement_defs",
+    "statement_uses",
+    "called_functions",
+    "call_graph",
+    "backward_slice_lines",
+]

@@ -1,0 +1,241 @@
+"""Def/use analysis and static backward slicing over mini-C programs.
+
+The slice is computed at *line* granularity and is deliberately
+flow-insensitive (a sound over-approximation): a line is relevant when it
+defines a variable used by a relevant line, when it is a control statement
+(``if``/``while``) whose body contains a relevant line, or when it belongs
+to a function (transitively) called from a relevant line.  This matches the
+"simple program slicing" the paper applies before building the MaxSAT
+instance for the larger benchmarks (Table 3): it removes assignments that
+cannot influence the checked assertion or output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.lang import ast
+
+
+def expression_uses(expr: Optional[ast.Expr]) -> set[str]:
+    """Variables (scalars and arrays) read by an expression."""
+    if expr is None:
+        return set()
+    if isinstance(expr, ast.IntLiteral):
+        return set()
+    if isinstance(expr, ast.VarRef):
+        return {expr.name}
+    if isinstance(expr, ast.ArrayRef):
+        return {expr.name} | expression_uses(expr.index)
+    if isinstance(expr, ast.UnaryOp):
+        return expression_uses(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        return expression_uses(expr.left) | expression_uses(expr.right)
+    if isinstance(expr, ast.Conditional):
+        return (
+            expression_uses(expr.cond)
+            | expression_uses(expr.then)
+            | expression_uses(expr.otherwise)
+        )
+    if isinstance(expr, ast.Call):
+        uses: set[str] = set()
+        for arg in expr.args:
+            uses |= expression_uses(arg)
+        return uses
+    return set()
+
+
+def expression_calls(expr: Optional[ast.Expr]) -> set[str]:
+    """Functions called (directly) from an expression."""
+    if expr is None:
+        return set()
+    if isinstance(expr, ast.Call):
+        calls = {expr.name}
+        for arg in expr.args:
+            calls |= expression_calls(arg)
+        return calls
+    if isinstance(expr, ast.UnaryOp):
+        return expression_calls(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        return expression_calls(expr.left) | expression_calls(expr.right)
+    if isinstance(expr, ast.Conditional):
+        return (
+            expression_calls(expr.cond)
+            | expression_calls(expr.then)
+            | expression_calls(expr.otherwise)
+        )
+    if isinstance(expr, ast.ArrayRef):
+        return expression_calls(expr.index)
+    return set()
+
+
+def statement_defs(stmt: ast.Stmt) -> set[str]:
+    """Variables written by a statement (not descending into bodies)."""
+    if isinstance(stmt, (ast.VarDecl, ast.Assign)):
+        return {stmt.name}
+    if isinstance(stmt, (ast.ArrayDecl, ast.ArrayAssign)):
+        return {stmt.name}
+    return set()
+
+
+def statement_uses(stmt: ast.Stmt) -> set[str]:
+    """Variables read by a statement (not descending into bodies)."""
+    if isinstance(stmt, ast.VarDecl):
+        return expression_uses(stmt.init)
+    if isinstance(stmt, ast.ArrayDecl):
+        uses: set[str] = set()
+        for expr in stmt.init:
+            uses |= expression_uses(expr)
+        return uses
+    if isinstance(stmt, ast.Assign):
+        return expression_uses(stmt.value)
+    if isinstance(stmt, ast.ArrayAssign):
+        return {stmt.name} | expression_uses(stmt.index) | expression_uses(stmt.value)
+    if isinstance(stmt, (ast.If, ast.While)):
+        return expression_uses(stmt.cond)
+    if isinstance(stmt, ast.Return):
+        return expression_uses(stmt.value)
+    if isinstance(stmt, (ast.Assert, ast.Assume)):
+        return expression_uses(stmt.cond)
+    if isinstance(stmt, ast.ExprStmt):
+        return expression_uses(stmt.expr)
+    if isinstance(stmt, ast.Print):
+        return expression_uses(stmt.value)
+    return set()
+
+
+def statement_calls(stmt: ast.Stmt) -> set[str]:
+    """Functions called directly from a statement (not descending into bodies)."""
+    if isinstance(stmt, ast.VarDecl):
+        return expression_calls(stmt.init)
+    if isinstance(stmt, ast.ArrayDecl):
+        calls: set[str] = set()
+        for expr in stmt.init:
+            calls |= expression_calls(expr)
+        return calls
+    if isinstance(stmt, ast.Assign):
+        return expression_calls(stmt.value)
+    if isinstance(stmt, ast.ArrayAssign):
+        return expression_calls(stmt.index) | expression_calls(stmt.value)
+    if isinstance(stmt, (ast.If, ast.While)):
+        return expression_calls(stmt.cond)
+    if isinstance(stmt, ast.Return):
+        return expression_calls(stmt.value)
+    if isinstance(stmt, (ast.Assert, ast.Assume)):
+        return expression_calls(stmt.cond)
+    if isinstance(stmt, ast.ExprStmt):
+        return expression_calls(stmt.expr)
+    if isinstance(stmt, ast.Print):
+        return expression_calls(stmt.value)
+    return set()
+
+
+def called_functions(program: ast.Program, function: str) -> set[str]:
+    """Functions transitively reachable from ``function`` in the call graph."""
+    graph = call_graph(program)
+    seen: set[str] = set()
+    frontier = [function]
+    while frontier:
+        current = frontier.pop()
+        for callee in graph.get(current, set()):
+            if callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return seen
+
+
+def call_graph(program: ast.Program) -> dict[str, set[str]]:
+    """Direct call graph of the program."""
+    graph: dict[str, set[str]] = {}
+
+    def visit(statements: tuple[ast.Stmt, ...], caller: str) -> None:
+        for stmt in statements:
+            graph.setdefault(caller, set()).update(
+                name for name in statement_calls(stmt) if name in program.functions
+            )
+            if isinstance(stmt, ast.If):
+                visit(stmt.then_body, caller)
+                visit(stmt.else_body, caller)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body, caller)
+
+    for name, function in program.functions.items():
+        graph.setdefault(name, set())
+        visit(function.body, name)
+    return graph
+
+
+def backward_slice_lines(
+    program: ast.Program,
+    criterion_variables: Optional[Iterable[str]] = None,
+) -> set[int]:
+    """Lines that may influence the assertions / outputs of the program.
+
+    The slicing criterion defaults to every variable used in an ``assert``,
+    ``print_int`` or ``return`` statement of ``main`` (plus explicitly given
+    ``criterion_variables``).  The result is the set of source lines whose
+    statements can (transitively, flow-insensitively) affect those variables,
+    including the control statements around them and everything inside
+    functions reachable from relevant calls.
+    """
+    all_statements: list[tuple[ast.Stmt, str]] = []
+
+    def collect(statements: tuple[ast.Stmt, ...], function: str) -> None:
+        for stmt in statements:
+            all_statements.append((stmt, function))
+            if isinstance(stmt, ast.If):
+                collect(stmt.then_body, function)
+                collect(stmt.else_body, function)
+            elif isinstance(stmt, ast.While):
+                collect(stmt.body, function)
+
+    for name, function in program.functions.items():
+        collect(function.body, name)
+
+    relevant_vars: set[str] = set(criterion_variables or ())
+    relevant_lines: set[int] = set()
+    relevant_functions: set[str] = set()
+    for stmt, function in all_statements:
+        if isinstance(stmt, (ast.Assert, ast.Print)) or (
+            isinstance(stmt, ast.Return) and function == "main"
+        ):
+            relevant_vars |= statement_uses(stmt)
+            relevant_lines.add(stmt.line)
+            relevant_functions |= statement_calls(stmt)
+
+    # Fixed point: add statements defining relevant variables, control
+    # statements, and the bodies of functions called from relevant lines.
+    changed = True
+    while changed:
+        changed = False
+        for stmt, function in all_statements:
+            if stmt.line in relevant_lines:
+                new_functions = statement_calls(stmt) & set(program.functions)
+                if not new_functions <= relevant_functions:
+                    relevant_functions |= new_functions
+                    changed = True
+                continue
+            relevant = False
+            if statement_defs(stmt) & relevant_vars:
+                relevant = True
+            if isinstance(stmt, (ast.If, ast.While)):
+                relevant = True
+            if function in relevant_functions and isinstance(
+                stmt, (ast.Return, ast.Assert, ast.Assume)
+            ):
+                relevant = True
+            if relevant:
+                relevant_lines.add(stmt.line)
+                relevant_vars |= statement_uses(stmt)
+                relevant_functions |= statement_calls(stmt) & set(program.functions)
+                changed = True
+        # Parameters of relevant functions: their callers' argument
+        # expressions are already covered through statement_uses of the call
+        # sites; the bodies become relevant through `relevant_functions`.
+        for stmt, function in all_statements:
+            if function in relevant_functions and statement_defs(stmt) & relevant_vars:
+                if stmt.line not in relevant_lines:
+                    relevant_lines.add(stmt.line)
+                    relevant_vars |= statement_uses(stmt)
+                    changed = True
+    return relevant_lines

@@ -1,0 +1,18 @@
+"""Concolic trace-formula construction.
+
+"While we describe our algorithm in pure symbolic execution terms, our
+algorithm fits in very well with concolic execution, where symbolic
+constraints are generated while the concrete test case is run" (paper,
+Related Work).  This package implements exactly that: the failing test is
+executed concretely and, statement by statement along the executed path, the
+symbolic trace formula is emitted with one clause group per statement.
+
+The tracer also implements the two optimisations the paper borrows from
+concolic execution — concrete values for designated (library) functions and
+constant folding of input-independent sub-terms — which double as the
+"concolic simulation (C)" trace-reduction technique of Table 3.
+"""
+
+from repro.concolic.executor import ConcolicTracer, TraceError
+
+__all__ = ["ConcolicTracer", "TraceError"]

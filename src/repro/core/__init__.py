@@ -1,0 +1,40 @@
+"""The BugAssist algorithms — the paper's primary contribution.
+
+* :class:`BugAssistLocalizer` — Algorithm 1: build the extended trace
+  formula for a failing test, repeatedly extract CoMSSes from the partial
+  MaxSAT instance, block each one, and report the corresponding source
+  lines as candidate error locations.
+* :func:`rank_locations` / :class:`RankedLocalization` — Section 4.3:
+  aggregate localization over many failing tests and rank lines by how
+  often they are reported.
+* :class:`OffByOneRepairer` — Algorithm 2 (Section 5.1): mutate constants
+  (and optionally operators) at reported locations and check whether the
+  failure disappears.
+* :class:`LoopIterationLocalizer` — Section 5.2: weighted soft clauses with
+  per-iteration selector variables to pin-point the loop iteration at which
+  the failure is first caused.
+* :class:`BugAssistPipeline` — the end-to-end flow of Figure 1 (failing
+  trace generation via tests or BMC, localization, optional repair).
+"""
+
+from repro.core.report import BugLocation, LocalizationReport, RankedLocalization
+from repro.core.localizer import BugAssistLocalizer
+from repro.core.ranking import rank_locations
+from repro.core.repair import OffByOneRepairer, RepairResult
+from repro.core.loops import LoopIterationLocalizer, LoopIterationReport
+from repro.core.pipeline import BugAssistPipeline
+from repro.spec import Specification
+
+__all__ = [
+    "BugAssistLocalizer",
+    "BugLocation",
+    "LocalizationReport",
+    "RankedLocalization",
+    "rank_locations",
+    "OffByOneRepairer",
+    "RepairResult",
+    "LoopIterationLocalizer",
+    "LoopIterationReport",
+    "BugAssistPipeline",
+    "Specification",
+]

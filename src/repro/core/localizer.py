@@ -1,0 +1,178 @@
+"""Algorithm 1: the BugAssist localization loop.
+
+Given a failing test, the localizer
+
+1. builds the extended trace formula — either from "the entire boolean
+   representation of the program" (``mode="program"``, the CBMC-style
+   whole-program encoding the paper uses for the TCAS experiments) or from
+   the dynamic trace of the failing execution (``mode="trace"``, the
+   concolic construction used together with the trace-reduction techniques
+   of Table 3),
+2. converts it to a partial MaxSAT instance (test input and post-condition
+   hard, one soft selector clause per statement),
+3. repeatedly asks the MaxSAT engine for a CoMSS, reports the corresponding
+   statements as a candidate bug location, and blocks that CoMSS by adding
+   the disjunction of its selectors as a hard clause while removing them
+   from the soft set,
+4. stops when no further CoMSS exists ("no more suspects").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.concolic import ConcolicTracer
+from repro.core.report import BugLocation, LocalizationReport
+from repro.encoding.context import StatementGroup
+from repro.encoding.trace import TraceFormula
+from repro.lang import ast
+from repro.lang.semantics import DEFAULT_WIDTH
+from repro.maxsat import WCNF, make_engine
+from repro.spec import Specification
+
+
+class BugAssistLocalizer:
+    """Error localization by maximum satisfiability (the BugAssist tool)."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        width: int = DEFAULT_WIDTH,
+        strategy: str = "hitting-set",
+        mode: str = "program",
+        unwind: int = 16,
+        max_candidates: int = 25,
+        concrete_functions: Iterable[str] = (),
+        hard_functions: Iterable[str] = (),
+        hard_lines: Iterable[int] = (),
+    ) -> None:
+        """Configure the localizer.
+
+        ``strategy`` selects the MaxSAT engine.  ``mode`` selects how the
+        formula is built: ``"program"`` encodes the whole program (both
+        branches of every conditional, loops unrolled up to ``unwind``) the
+        way CBMC does, while ``"trace"`` encodes only the dynamic path of the
+        failing execution (used with the trace-reduction techniques).
+        ``concrete_functions`` are executed concretely only (concolic trace
+        reduction, ``mode="trace"`` only), while ``hard_functions`` /
+        ``hard_lines`` are encoded but excluded from the candidate set
+        (library code assumed correct).  ``max_candidates`` bounds the number
+        of CoMSS iterations.
+        """
+        if mode not in ("program", "trace"):
+            raise ValueError(f"unknown localization mode {mode!r}")
+        self.program = program
+        self.width = width
+        self.strategy = strategy
+        self.mode = mode
+        self.unwind = unwind
+        self.max_candidates = max_candidates
+        self.concrete_functions = tuple(concrete_functions)
+        self.hard_functions = tuple(hard_functions)
+        self.hard_lines = set(hard_lines)
+
+    # ------------------------------------------------------------------ API
+
+    def build_trace_formula(
+        self,
+        inputs: Sequence[int] | Mapping[str, int],
+        spec: Specification,
+        entry: str = "main",
+        nondet_values: Sequence[int] = (),
+    ) -> TraceFormula:
+        """Build the extended trace formula for one failing test."""
+        if self.mode == "program":
+            from repro.bmc import BoundedModelChecker
+
+            checker = BoundedModelChecker(
+                self.program,
+                width=self.width,
+                unwind=self.unwind,
+                group_statements=True,
+                hard_functions=self.hard_functions,
+            )
+            return checker.encode_program_formula(
+                inputs, spec, entry=entry, nondet_values=nondet_values
+            )
+        tracer = ConcolicTracer(
+            self.program,
+            width=self.width,
+            concrete_functions=self.concrete_functions,
+            hard_functions=self.hard_functions,
+        )
+        return tracer.trace(inputs, spec, entry=entry, nondet_values=nondet_values)
+
+    def localize_trace(
+        self,
+        formula: TraceFormula,
+        program_name: Optional[str] = None,
+    ) -> LocalizationReport:
+        """Run the CoMSS enumeration loop of Algorithm 1 on a trace formula."""
+        started = time.perf_counter()
+        wcnf, selector_to_group = formula.to_wcnf(hard_groups=self.hard_lines or None)
+        report = LocalizationReport(
+            program_name=program_name or self.program.name,
+            test_inputs=dict(formula.test_inputs),
+            specification=formula.assertion_description,
+            trace_assignments=formula.num_assignments,
+            trace_variables=formula.num_vars,
+            trace_clauses=formula.num_clauses,
+        )
+        maxsat_calls = 0
+        for _ in range(self.max_candidates):
+            engine = make_engine(self.strategy)
+            result = engine.solve(wcnf)
+            maxsat_calls += 1
+            if not result.satisfiable or not result.falsified:
+                break
+            groups = tuple(
+                label
+                for label in result.falsified_labels
+                if isinstance(label, StatementGroup)
+            )
+            if not groups:
+                break
+            report.candidates.append(BugLocation(groups=groups, cost=result.cost))
+            wcnf = self._block_candidate(wcnf, result.falsified)
+        report.maxsat_calls = maxsat_calls
+        report.time_seconds = time.perf_counter() - started
+        return report
+
+    def localize_test(
+        self,
+        inputs: Sequence[int] | Mapping[str, int],
+        spec: Specification,
+        entry: str = "main",
+        nondet_values: Sequence[int] = (),
+        program_name: Optional[str] = None,
+    ) -> LocalizationReport:
+        """Localize starting from a failing test (trace + CoMSS loop)."""
+        formula = self.build_trace_formula(
+            inputs, spec, entry=entry, nondet_values=nondet_values
+        )
+        return self.localize_trace(formula, program_name=program_name)
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _block_candidate(wcnf: WCNF, falsified: Sequence[int]) -> WCNF:
+        """Apply lines 13-14 of Algorithm 1: block the CoMSS just reported.
+
+        The blocking clause ``beta`` (the disjunction of the CoMSS's selector
+        variables) becomes hard, and the blocked selectors leave the soft set
+        so later iterations explore different statements.
+        """
+        blocked = set(falsified)
+        beta: list[int] = []
+        for index in blocked:
+            beta.extend(wcnf.soft[index].lits)
+        successor = WCNF()
+        successor._num_vars = wcnf.num_vars
+        for clause in wcnf.hard:
+            successor.add_hard(clause)
+        successor.add_hard(beta)
+        for index, soft in enumerate(wcnf.soft):
+            if index not in blocked:
+                successor.add_soft(list(soft.lits), weight=soft.weight, label=soft.label)
+        return successor

@@ -1,0 +1,150 @@
+"""The end-to-end BugAssist flow of Figure 1.
+
+The pipeline ties the pieces together the way the tool does: failing traces
+come either from a provided test suite or from the bounded model checker;
+the localizer turns each failing trace into candidate bug locations; and the
+repairer optionally synthesises an off-by-one fix at those locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.bmc import BoundedModelChecker, Counterexample
+from repro.core.localizer import BugAssistLocalizer
+from repro.core.ranking import rank_locations
+from repro.core.repair import OffByOneRepairer, RepairResult
+from repro.core.report import LocalizationReport, RankedLocalization
+from repro.lang import ast
+from repro.lang.interp import Interpreter
+from repro.lang.semantics import DEFAULT_WIDTH
+from repro.spec import Specification
+
+TestCase = Sequence[int] | Mapping[str, int]
+
+
+@dataclass
+class PipelineConfig:
+    """Tuning knobs for the end-to-end flow."""
+
+    width: int = DEFAULT_WIDTH
+    strategy: str = "hitting-set"
+    bmc_unwind: int = 16
+    max_candidates: int = 25
+
+
+class BugAssistPipeline:
+    """Generate failing executions, localize, and optionally repair."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        config: Optional[PipelineConfig] = None,
+        concrete_functions: Iterable[str] = (),
+        hard_functions: Iterable[str] = (),
+    ) -> None:
+        self.program = program
+        self.config = config or PipelineConfig()
+        self.localizer = BugAssistLocalizer(
+            program,
+            width=self.config.width,
+            strategy=self.config.strategy,
+            max_candidates=self.config.max_candidates,
+            concrete_functions=concrete_functions,
+            hard_functions=hard_functions,
+        )
+
+    # ------------------------------------------------------- trace generation
+
+    def find_failing_test(self, entry: str = "main") -> Optional[Counterexample]:
+        """Use bounded model checking to find an assertion-violating input."""
+        checker = BoundedModelChecker(
+            self.program, width=self.config.width, unwind=self.config.bmc_unwind
+        )
+        return checker.find_counterexample(entry=entry)
+
+    def classify_tests(
+        self,
+        tests: Iterable[TestCase],
+        spec_for: "callable[[TestCase], Specification]",
+        entry: str = "main",
+    ) -> tuple[list[tuple[TestCase, Specification]], list[tuple[TestCase, Specification]]]:
+        """Split a test pool into failing and passing tests for this program."""
+        interpreter = Interpreter(self.program, width=self.config.width)
+        failing: list[tuple[TestCase, Specification]] = []
+        passing: list[tuple[TestCase, Specification]] = []
+        for test in tests:
+            spec = spec_for(test)
+            outcome = interpreter.run(test, entry=entry)
+            if spec.is_satisfied_by(outcome.observable, outcome.assertion_failed):
+                passing.append((test, spec))
+            else:
+                failing.append((test, spec))
+        return failing, passing
+
+    # ------------------------------------------------------------ localization
+
+    def localize(
+        self,
+        failing_test: Optional[TestCase] = None,
+        spec: Optional[Specification] = None,
+        entry: str = "main",
+        nondet_values: Sequence[int] = (),
+    ) -> LocalizationReport:
+        """Localize one failing execution.
+
+        When no failing test is given the pipeline first runs the bounded
+        model checker to find one (Section 4.1), using the program's own
+        assertions as the specification.
+        """
+        if failing_test is None:
+            counterexample = self.find_failing_test(entry=entry)
+            if counterexample is None:
+                return LocalizationReport(
+                    program_name=self.program.name,
+                    test_inputs={},
+                    specification="no counterexample found",
+                )
+            failing_test = counterexample.as_test()
+            nondet_values = counterexample.nondet_values
+            spec = spec or Specification.assertion()
+        if spec is None:
+            spec = Specification.assertion()
+        return self.localizer.localize_test(
+            failing_test, spec, entry=entry, nondet_values=nondet_values
+        )
+
+    def localize_many(
+        self,
+        failing_tests: Iterable[tuple[TestCase, Specification]],
+        entry: str = "main",
+        max_runs: Optional[int] = None,
+    ) -> RankedLocalization:
+        """Section 4.3: run several failing tests and rank the reported lines."""
+        return rank_locations(
+            self.localizer, failing_tests, entry=entry, max_runs=max_runs
+        )
+
+    # ----------------------------------------------------------------- repair
+
+    def repair(
+        self,
+        failing_test: TestCase,
+        spec: Specification,
+        regression_tests: Sequence[tuple[TestCase, Specification]] = (),
+        validator: str = "tests",
+        try_operators: bool = False,
+        entry: str = "main",
+    ) -> RepairResult:
+        """Algorithm 2 on top of this pipeline's localizer."""
+        repairer = OffByOneRepairer(
+            self.program,
+            localizer=self.localizer,
+            width=self.config.width,
+            validator=validator,
+            bmc_unwind=self.config.bmc_unwind,
+            try_operators=try_operators,
+            entry=entry,
+        )
+        return repairer.repair(failing_test, spec, regression_tests=regression_tests)

@@ -1,0 +1,45 @@
+"""Multi-trace ranking of bug locations (paper Section 4.3).
+
+BugAssist becomes more precise when run with several failing tests: each run
+reports a set of candidate lines, and ranking the lines by how frequently
+they are reported narrows the search to the true fault.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.localizer import BugAssistLocalizer
+from repro.core.report import LocalizationReport, RankedLocalization
+from repro.spec import Specification
+
+TestCase = Sequence[int] | Mapping[str, int]
+
+
+def rank_locations(
+    localizer: BugAssistLocalizer,
+    failing_tests: Iterable[tuple[TestCase, Specification]],
+    entry: str = "main",
+    program_name: Optional[str] = None,
+    max_runs: Optional[int] = None,
+    on_run: Optional[Callable[[LocalizationReport], None]] = None,
+) -> RankedLocalization:
+    """Run BugAssist on several failing tests and rank reported lines.
+
+    ``failing_tests`` yields (test input, specification) pairs — the
+    specification is per-test because the Siemens benchmarks use the golden
+    output of each individual test as its correctness condition.
+    """
+    ranked = RankedLocalization(program_name=program_name or localizer.program.name)
+    for index, (inputs, spec) in enumerate(failing_tests):
+        if max_runs is not None and index >= max_runs:
+            break
+        report = localizer.localize_test(
+            inputs, spec, entry=entry, program_name=program_name
+        )
+        ranked.runs.append(report)
+        for line in report.lines:
+            ranked.line_counts[line] = ranked.line_counts.get(line, 0) + 1
+        if on_run is not None:
+            on_run(report)
+    return ranked

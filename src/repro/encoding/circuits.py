@@ -1,0 +1,313 @@
+"""Gate-level circuits: Tseitin encoding of fixed-width integer operations.
+
+A symbolic value is a :data:`Bits` tuple of CNF literals, least-significant
+bit first.  Constant bits are represented by the context's ``true_lit`` (or
+its negation), which lets the builder constant-fold aggressively — the
+"constant-folding input-independent parts of the constraints" optimisation
+the paper borrows from concolic execution.
+
+All emitted clauses go through :meth:`EncodingContext.emit`, so whatever
+statement group is active when an operation is encoded owns its clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.encoding.context import EncodingContext
+from repro.lang.semantics import to_unsigned
+
+Bits = tuple[int, ...]
+
+
+class CircuitBuilder:
+    """Builds bit-vector circuits over an :class:`EncodingContext`."""
+
+    def __init__(self, context: EncodingContext) -> None:
+        self.context = context
+        self.width = context.width
+
+    # ----------------------------------------------------------- bit helpers
+
+    @property
+    def true(self) -> int:
+        return self.context.true_lit
+
+    @property
+    def false(self) -> int:
+        return -self.context.true_lit
+
+    def _const_value(self, lit: int) -> Optional[bool]:
+        """Return the Boolean value of a literal if it is a known constant."""
+        if lit == self.true:
+            return True
+        if lit == self.false:
+            return False
+        return None
+
+    def bit_not(self, lit: int) -> int:
+        return -lit
+
+    def bit_and(self, a: int, b: int) -> int:
+        for first, second in ((a, b), (b, a)):
+            value = self._const_value(first)
+            if value is True:
+                return second
+            if value is False:
+                return self.false
+        if a == b:
+            return a
+        if a == -b:
+            return self.false
+        out = self.context.new_var()
+        self.context.emit([-a, -b, out])
+        self.context.emit([a, -out])
+        self.context.emit([b, -out])
+        return out
+
+    def bit_or(self, a: int, b: int) -> int:
+        return -self.bit_and(-a, -b)
+
+    def bit_xor(self, a: int, b: int) -> int:
+        value_a, value_b = self._const_value(a), self._const_value(b)
+        if value_a is not None:
+            return -b if value_a else b
+        if value_b is not None:
+            return -a if value_b else a
+        if a == b:
+            return self.false
+        if a == -b:
+            return self.true
+        out = self.context.new_var()
+        self.context.emit([-a, -b, -out])
+        self.context.emit([a, b, -out])
+        self.context.emit([-a, b, out])
+        self.context.emit([a, -b, out])
+        return out
+
+    def bit_and_many(self, lits: Sequence[int]) -> int:
+        result = self.true
+        for lit in lits:
+            result = self.bit_and(result, lit)
+        return result
+
+    def bit_or_many(self, lits: Sequence[int]) -> int:
+        result = self.false
+        for lit in lits:
+            result = self.bit_or(result, lit)
+        return result
+
+    def bit_ite(self, cond: int, then_lit: int, else_lit: int) -> int:
+        value = self._const_value(cond)
+        if value is True:
+            return then_lit
+        if value is False:
+            return else_lit
+        if then_lit == else_lit:
+            return then_lit
+        out = self.context.new_var()
+        self.context.emit([-cond, -then_lit, out])
+        self.context.emit([-cond, then_lit, -out])
+        self.context.emit([cond, -else_lit, out])
+        self.context.emit([cond, else_lit, -out])
+        return out
+
+    def bit_equal(self, a: int, b: int) -> int:
+        return -self.bit_xor(a, b)
+
+    def force_true(self, lit: int) -> None:
+        """Emit a unit clause making ``lit`` true (in the active group)."""
+        value = self._const_value(lit)
+        if value is True:
+            return
+        self.context.emit([lit])
+
+    # ------------------------------------------------------------ bit-vectors
+
+    def const(self, value: int, width: Optional[int] = None) -> Bits:
+        width = width or self.width
+        pattern = to_unsigned(value, width)
+        return tuple(
+            self.true if (pattern >> position) & 1 else self.false
+            for position in range(width)
+        )
+
+    def fresh(self, width: Optional[int] = None) -> Bits:
+        width = width or self.width
+        return tuple(self.context.new_var() for _ in range(width))
+
+    def constant_of(self, bits: Bits) -> Optional[int]:
+        """If every bit is constant, return the signed integer value."""
+        pattern = 0
+        for position, lit in enumerate(bits):
+            value = self._const_value(lit)
+            if value is None:
+                return None
+            if value:
+                pattern |= 1 << position
+        if pattern >= 1 << (len(bits) - 1):
+            pattern -= 1 << len(bits)
+        return pattern
+
+    def zero_extend(self, bits: Bits, width: int) -> Bits:
+        if len(bits) >= width:
+            return bits[:width]
+        return bits + tuple(self.false for _ in range(width - len(bits)))
+
+    def sign_extend(self, bits: Bits, width: int) -> Bits:
+        if len(bits) >= width:
+            return bits[:width]
+        return bits + tuple(bits[-1] for _ in range(width - len(bits)))
+
+    def bool_to_bits(self, lit: int, width: Optional[int] = None) -> Bits:
+        width = width or self.width
+        return (lit,) + tuple(self.false for _ in range(width - 1))
+
+    # ------------------------------------------------------------- arithmetic
+
+    def add(self, a: Bits, b: Bits, carry_in: Optional[int] = None) -> Bits:
+        assert len(a) == len(b)
+        carry = carry_in if carry_in is not None else self.false
+        out: list[int] = []
+        for bit_a, bit_b in zip(a, b):
+            partial = self.bit_xor(bit_a, bit_b)
+            out.append(self.bit_xor(partial, carry))
+            carry = self.bit_or(
+                self.bit_and(bit_a, bit_b), self.bit_and(partial, carry)
+            )
+        return tuple(out)
+
+    def sub(self, a: Bits, b: Bits) -> Bits:
+        negated = tuple(-bit for bit in b)
+        return self.add(a, negated, carry_in=self.true)
+
+    def negate(self, a: Bits) -> Bits:
+        zero = self.const(0, len(a))
+        return self.sub(zero, a)
+
+    def multiply(self, a: Bits, b: Bits, width: Optional[int] = None) -> Bits:
+        """Shift-and-add multiplier truncated to ``width`` bits."""
+        width = width or len(a)
+        accumulator = self.const(0, width)
+        a_ext = self.zero_extend(a, width)
+        b_ext = self.zero_extend(b, width)
+        for shift, control in enumerate(a_ext):
+            if self._const_value(control) is False:
+                continue
+            partial_bits = [self.false] * shift + [
+                self.bit_and(control, bit) for bit in b_ext[: width - shift]
+            ]
+            accumulator = self.add(accumulator, tuple(partial_bits))
+        return accumulator
+
+    def absolute(self, a: Bits) -> Bits:
+        sign = a[-1]
+        return self.mux(sign, self.negate(a), a)
+
+    def divmod(self, a: Bits, b: Bits) -> tuple[Bits, Bits]:
+        """C-style signed division and remainder (division by zero yields 0/a).
+
+        The quotient and remainder are fresh vectors constrained by the
+        defining identity ``|a| == q_u * |b| + r_u`` with ``0 <= r_u < |b|``,
+        evaluated at double width to avoid overflow, then signed according to
+        C's truncation-toward-zero rules.
+        """
+        width = len(a)
+        double = width * 2
+        sign_a, sign_b = a[-1], b[-1]
+        abs_a, abs_b = self.absolute(a), self.absolute(b)
+        quotient_u = self.fresh(width)
+        remainder_u = self.fresh(width)
+        product = self.multiply(
+            self.zero_extend(quotient_u, double), self.zero_extend(abs_b, double), double
+        )
+        total = self.add(product, self.zero_extend(remainder_u, double))
+        b_zero = -self.is_nonzero(b)
+        identity = self.equals(total, self.zero_extend(abs_a, double))
+        in_range = self.unsigned_less(remainder_u, abs_b)
+        # When b != 0 the defining identity and range constraint must hold.
+        self.context.emit([b_zero, identity])
+        self.context.emit([b_zero, in_range])
+        quotient_signed = self.mux(
+            self.bit_xor(sign_a, sign_b), self.negate(quotient_u), quotient_u
+        )
+        remainder_signed = self.mux(sign_a, self.negate(remainder_u), remainder_u)
+        quotient = self.mux(b_zero, self.const(0, width), quotient_signed)
+        remainder = self.mux(b_zero, a, remainder_signed)
+        return quotient, remainder
+
+    # ------------------------------------------------------------ comparison
+
+    def equals(self, a: Bits, b: Bits) -> int:
+        return self.bit_and_many(
+            [self.bit_equal(bit_a, bit_b) for bit_a, bit_b in zip(a, b)]
+        )
+
+    def unsigned_less(self, a: Bits, b: Bits) -> int:
+        """a < b treating the vectors as unsigned integers."""
+        less = self.false
+        for bit_a, bit_b in zip(a, b):  # LSB to MSB
+            eq = self.bit_equal(bit_a, bit_b)
+            lt = self.bit_and(-bit_a, bit_b)
+            less = self.bit_or(lt, self.bit_and(eq, less))
+        return less
+
+    def signed_less(self, a: Bits, b: Bits) -> int:
+        """a < b treating the vectors as two's-complement integers."""
+        flipped_a = a[:-1] + (-a[-1],)
+        flipped_b = b[:-1] + (-b[-1],)
+        return self.unsigned_less(flipped_a, flipped_b)
+
+    def signed_less_equal(self, a: Bits, b: Bits) -> int:
+        return -self.signed_less(b, a)
+
+    def is_nonzero(self, a: Bits) -> int:
+        return self.bit_or_many(list(a))
+
+    # ------------------------------------------------------------- structure
+
+    def mux(self, cond: int, then_bits: Bits, else_bits: Bits) -> Bits:
+        return tuple(
+            self.bit_ite(cond, then_bit, else_bit)
+            for then_bit, else_bit in zip(then_bits, else_bits)
+        )
+
+    def assert_equal(self, target: Bits, source: Bits) -> None:
+        """Emit clauses forcing ``target == source`` (in the active group)."""
+        for target_bit, source_bit in zip(target, source):
+            value = self._const_value(source_bit)
+            if value is True:
+                self.context.emit([target_bit])
+            elif value is False:
+                self.context.emit([-target_bit])
+            else:
+                self.context.emit([-target_bit, source_bit])
+                self.context.emit([target_bit, -source_bit])
+
+    def fix_to_value(self, bits: Bits, value: int) -> None:
+        """Emit unit clauses pinning ``bits`` to a concrete integer value."""
+        pattern = to_unsigned(value, len(bits))
+        for position, lit in enumerate(bits):
+            wanted = bool((pattern >> position) & 1)
+            known = self._const_value(lit)
+            if known is None:
+                self.context.emit([lit if wanted else -lit])
+            elif known != wanted:
+                # Pinning a constant to a different value: emit a contradiction.
+                self.context.emit([self.false])
+
+    def decode(self, bits: Bits, model: dict[int, bool]) -> int:
+        """Read back a signed integer value of ``bits`` under a SAT model."""
+        pattern = 0
+        for position, lit in enumerate(bits):
+            constant = self._const_value(lit)
+            if constant is not None:
+                value = constant
+            else:
+                assigned = model.get(abs(lit), False)
+                value = assigned if lit > 0 else not assigned
+            if value:
+                pattern |= 1 << position
+        if pattern >= 1 << (len(bits) - 1):
+            pattern -= 1 << len(bits)
+        return pattern

@@ -1,0 +1,100 @@
+"""Variable allocation and clause routing for the trace-formula encoding."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True, order=True)
+class StatementGroup:
+    """Identity of one clause group (Section 3.4).
+
+    A group corresponds to one program statement: all clauses arising from
+    the statement share one selector variable and are enabled or disabled
+    together.  For the loop-debugging extension (Section 5.2) the group also
+    carries the loop-unrolling ``iteration`` so the same source line gets a
+    distinct selector per iteration.
+    """
+
+    line: int
+    function: str = ""
+    iteration: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [f"line {self.line}"]
+        if self.function:
+            parts.append(f"in {self.function}()")
+        if self.iteration is not None:
+            parts.append(f"iteration {self.iteration}")
+        return " ".join(parts)
+
+
+class EncodingContext:
+    """Allocates CNF variables and routes emitted clauses.
+
+    Clauses are routed either into the *hard* set (test-input constraints,
+    the asserted post-condition, auxiliary structure) or into the clause
+    group of the statement currently being encoded.  Which destination is
+    active is controlled with the :meth:`group` context manager.
+    """
+
+    def __init__(self, width: int = 16) -> None:
+        self.width = width
+        self.num_vars = 0
+        self.hard: list[list[int]] = []
+        self.groups: dict[StatementGroup, list[list[int]]] = {}
+        self._current: Optional[StatementGroup] = None
+        self._true_lit: Optional[int] = None
+
+    # ------------------------------------------------------------ variables
+
+    def new_var(self) -> int:
+        """Allocate a fresh CNF variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    @property
+    def true_lit(self) -> int:
+        """A literal constrained (by a hard unit clause) to be true."""
+        if self._true_lit is None:
+            self._true_lit = self.new_var()
+            self.hard.append([self._true_lit])
+        return self._true_lit
+
+    # -------------------------------------------------------------- clauses
+
+    def emit(self, clause: list[int]) -> None:
+        """Emit a clause into the hard set or the active statement group."""
+        if self._current is None:
+            self.hard.append(clause)
+        else:
+            self.groups.setdefault(self._current, []).append(clause)
+
+    def emit_hard(self, clause: list[int]) -> None:
+        """Emit a clause into the hard set regardless of the active group."""
+        self.hard.append(clause)
+
+    @contextmanager
+    def group(self, group: Optional[StatementGroup]) -> Iterator[None]:
+        """Route clauses emitted inside the block to ``group`` (None = hard)."""
+        previous = self._current
+        self._current = group
+        if group is not None:
+            self.groups.setdefault(group, [])
+        try:
+            yield
+        finally:
+            self._current = previous
+
+    @property
+    def current_group(self) -> Optional[StatementGroup]:
+        return self._current
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def num_clauses(self) -> int:
+        """Total number of clauses emitted so far (hard plus grouped)."""
+        return len(self.hard) + sum(len(clauses) for clauses in self.groups.values())

@@ -1,0 +1,31 @@
+"""The mini-C language front-end.
+
+BugAssist analyses C programs through CBMC.  This reproduction replaces CBMC
+with a self-contained front-end for *mini-C*, a C subset rich enough for the
+Siemens-style benchmarks the paper evaluates on:
+
+* ``int`` scalars and fixed-size ``int`` arrays (globals and locals),
+* functions with ``int`` parameters and ``int``/``void`` results,
+* ``if``/``else``, ``while``, ``return``, ``assert``, ``assume``,
+* the usual arithmetic, comparison, logical and conditional operators,
+* ``nondet()`` for unconstrained inputs and ``print_int(e)`` for observable
+  output (the "golden output" of a run).
+
+Public entry points: :func:`parse_program`, :class:`Interpreter`, and the
+AST node classes in :mod:`repro.lang.ast`.
+"""
+
+from repro.lang.parser import parse_program, ParseError
+from repro.lang.typecheck import check_program, TypeError_ as TypeCheckError
+from repro.lang.interp import Interpreter, ExecutionResult, AssertionFailure, RuntimeBudgetExceeded
+
+__all__ = [
+    "parse_program",
+    "ParseError",
+    "check_program",
+    "TypeCheckError",
+    "Interpreter",
+    "ExecutionResult",
+    "AssertionFailure",
+    "RuntimeBudgetExceeded",
+]

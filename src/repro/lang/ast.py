@@ -1,0 +1,236 @@
+"""Abstract syntax tree for the mini-C language.
+
+Every node carries the 1-based source ``line`` it came from: BugAssist
+reports fault locations as line numbers, so line information is preserved
+through parsing, trace generation and CNF encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expr):
+    """An integer constant."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A reference to a scalar variable."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An array element read ``name[index]``."""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operation: ``-e`` or ``!e``."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """A binary operation over two sub-expressions."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Conditional(Expr):
+    """The ternary conditional ``cond ? then : otherwise``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    otherwise: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call expression."""
+
+    name: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+LOGICAL_OPS = ("&&", "||")
+ALL_BINARY_OPS = ARITHMETIC_OPS + COMPARISON_OPS + LOGICAL_OPS
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """A local or global scalar declaration ``int x;`` or ``int x = e;``."""
+
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ArrayDecl(Stmt):
+    """An array declaration ``int a[N];`` with optional initializer list."""
+
+    name: str = ""
+    size: int = 0
+    init: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """A scalar assignment ``x = e;``."""
+
+    name: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Stmt):
+    """An array element assignment ``a[i] = e;``."""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """An ``if``/``else`` statement."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: tuple["Stmt", ...] = ()
+    else_body: tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """A ``while`` loop."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """A ``return`` statement (value optional for void functions)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """An ``assert(e);`` statement — the correctness property."""
+
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    """An ``assume(e);`` statement constraining feasible executions."""
+
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (a call) ``f(a, b);``."""
+
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    """``print_int(e);`` — appends a value to the observable output."""
+
+    value: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------- top level
+
+
+@dataclass(frozen=True)
+class Function:
+    """A function definition."""
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    returns_value: bool
+    line: int
+
+
+@dataclass
+class Program:
+    """A parsed mini-C translation unit."""
+
+    globals: list[Union[VarDecl, ArrayDecl]] = field(default_factory=list)
+    functions: dict[str, Function] = field(default_factory=dict)
+    source: str = ""
+    name: str = "<program>"
+
+    def function(self, name: str) -> Function:
+        """Look up a function, raising ``KeyError`` with a helpful message."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"program {self.name!r} has no function {name!r}") from None
+
+    @property
+    def main(self) -> Function:
+        """The entry point."""
+        return self.function("main")
+
+    def lines_of_code(self) -> int:
+        """Number of non-blank source lines (the paper's LOC# metric)."""
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+    def statement_lines(self) -> set[int]:
+        """The set of source lines that contain executable statements."""
+        lines: set[int] = set()
+
+        def visit(statements: tuple[Stmt, ...]) -> None:
+            for stmt in statements:
+                lines.add(stmt.line)
+                if isinstance(stmt, If):
+                    visit(stmt.then_body)
+                    visit(stmt.else_body)
+                elif isinstance(stmt, While):
+                    visit(stmt.body)
+
+        for function in self.functions.values():
+            visit(function.body)
+        return lines

@@ -1,0 +1,336 @@
+"""Concrete reference interpreter for mini-C.
+
+The interpreter plays three roles in the reproduction:
+
+* it produces the **golden outputs** used as correctness specifications for
+  the Siemens-style benchmarks (run the original program on every test),
+* it classifies tests as passing or failing for faulty program versions,
+* it validates candidate repairs (Algorithm 2 re-checks the failing test on
+  the patched program).
+
+Semantics match the CNF encoder exactly: fixed-width two's-complement
+integers (see :mod:`repro.lang.semantics`), C-style truthiness, and implicit
+array-bounds assertions when ``check_bounds`` is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.lang import ast
+from repro.lang.semantics import DEFAULT_WIDTH, apply_binary, apply_unary, truth, wrap
+
+
+class RuntimeBudgetExceeded(RuntimeError):
+    """Raised when an execution exceeds the configured step budget."""
+
+
+class AssertionFailure(Exception):
+    """Raised internally to unwind on assertion / bounds violations."""
+
+    def __init__(self, line: int, kind: str) -> None:
+        super().__init__(f"{kind} violated at line {line}")
+        self.line = line
+        self.kind = kind
+
+
+class _AssumptionViolated(Exception):
+    """Raised internally when an assume() turns out false."""
+
+    def __init__(self, line: int) -> None:
+        super().__init__(f"assumption violated at line {line}")
+        self.line = line
+
+
+class _ReturnValue(Exception):
+    """Internal non-local exit carrying a function's return value."""
+
+    def __init__(self, value: Optional[int]) -> None:
+        super().__init__("return")
+        self.value = value
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of one program run."""
+
+    outputs: list[int] = field(default_factory=list)
+    return_value: Optional[int] = None
+    assertion_failed: bool = False
+    failed_line: Optional[int] = None
+    failure_kind: Optional[str] = None
+    assumption_violated: bool = False
+    steps: int = 0
+
+    @property
+    def observable(self) -> tuple[int, ...]:
+        """Printed values plus the return value — the program's "output"."""
+        values = list(self.outputs)
+        if self.return_value is not None:
+            values.append(self.return_value)
+        return tuple(values)
+
+    @property
+    def passed(self) -> bool:
+        """True when the run finished without violating an assertion."""
+        return not self.assertion_failed
+
+
+class Interpreter:
+    """Executes a mini-C program on concrete inputs."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        width: int = DEFAULT_WIDTH,
+        max_steps: int = 200_000,
+        check_bounds: bool = False,
+    ) -> None:
+        self.program = program
+        self.width = width
+        self.max_steps = max_steps
+        self.check_bounds = check_bounds
+
+    # ------------------------------------------------------------------ API
+
+    def run(
+        self,
+        inputs: Sequence[int] | Mapping[str, int] = (),
+        entry: str = "main",
+        nondet_values: Sequence[int] = (),
+    ) -> ExecutionResult:
+        """Run ``entry`` on the given inputs and return the execution result.
+
+        ``inputs`` may be a positional sequence matching the entry function's
+        parameters or a name-to-value mapping.  ``nondet_values`` feeds
+        successive ``nondet()`` calls (defaulting to 0 when exhausted).
+        """
+        function = self.program.function(entry)
+        arguments = self._bind_inputs(function, inputs)
+        result = ExecutionResult()
+        state = _State(result, list(nondet_values), self.max_steps)
+        globals_env = self._initialize_globals(state)
+        try:
+            value = self._call(function, arguments, globals_env, state)
+            result.return_value = value
+        except AssertionFailure as failure:
+            result.assertion_failed = True
+            result.failed_line = failure.line
+            result.failure_kind = failure.kind
+        except _AssumptionViolated:
+            result.assumption_violated = True
+        result.steps = state.steps
+        return result
+
+    # ------------------------------------------------------------- plumbing
+
+    def _bind_inputs(
+        self, function: ast.Function, inputs: Sequence[int] | Mapping[str, int]
+    ) -> dict[str, int]:
+        if isinstance(inputs, Mapping):
+            missing = [name for name in function.params if name not in inputs]
+            if missing:
+                raise ValueError(f"missing inputs for parameters {missing}")
+            return {name: wrap(int(inputs[name]), self.width) for name in function.params}
+        values = list(inputs)
+        if len(values) != len(function.params):
+            raise ValueError(
+                f"{function.name} expects {len(function.params)} inputs, got {len(values)}"
+            )
+        return {
+            name: wrap(int(value), self.width)
+            for name, value in zip(function.params, values)
+        }
+
+    def _initialize_globals(self, state: "_State") -> dict[str, object]:
+        env: dict[str, object] = {}
+        for decl in self.program.globals:
+            if isinstance(decl, ast.VarDecl):
+                value = 0
+                if decl.init is not None:
+                    value = self._eval(decl.init, env, env, state)
+                env[decl.name] = value
+            else:
+                values = [0] * decl.size
+                for index, expr in enumerate(decl.init):
+                    values[index] = self._eval(expr, env, env, state)
+                env[decl.name] = values
+        return env
+
+    def _call(
+        self,
+        function: ast.Function,
+        arguments: dict[str, int],
+        globals_env: dict[str, object],
+        state: "_State",
+    ) -> Optional[int]:
+        local_env: dict[str, object] = dict(arguments)
+        try:
+            self._exec_block(function.body, local_env, globals_env, state)
+        except _ReturnValue as ret:
+            return ret.value
+        return 0 if function.returns_value else None
+
+    def _exec_block(
+        self,
+        statements: tuple[ast.Stmt, ...],
+        env: dict[str, object],
+        globals_env: dict[str, object],
+        state: "_State",
+    ) -> None:
+        for stmt in statements:
+            self._exec(stmt, env, globals_env, state)
+
+    def _exec(
+        self,
+        stmt: ast.Stmt,
+        env: dict[str, object],
+        globals_env: dict[str, object],
+        state: "_State",
+    ) -> None:
+        state.tick()
+        if isinstance(stmt, ast.VarDecl):
+            env[stmt.name] = (
+                self._eval(stmt.init, env, globals_env, state) if stmt.init is not None else 0
+            )
+        elif isinstance(stmt, ast.ArrayDecl):
+            values = [0] * stmt.size
+            for index, expr in enumerate(stmt.init):
+                values[index] = self._eval(expr, env, globals_env, state)
+            env[stmt.name] = values
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, globals_env, state)
+            self._store(stmt.name, value, env, globals_env)
+        elif isinstance(stmt, ast.ArrayAssign):
+            index = self._eval(stmt.index, env, globals_env, state)
+            value = self._eval(stmt.value, env, globals_env, state)
+            array = self._lookup_array(stmt.name, stmt.line, env, globals_env)
+            if index < 0 or index >= len(array):
+                if self.check_bounds:
+                    raise AssertionFailure(stmt.line, "array bounds")
+                return
+            array[index] = value
+        elif isinstance(stmt, ast.If):
+            condition = self._eval(stmt.cond, env, globals_env, state)
+            body = stmt.then_body if truth(condition) else stmt.else_body
+            self._exec_block(body, env, globals_env, state)
+        elif isinstance(stmt, ast.While):
+            while truth(self._eval(stmt.cond, env, globals_env, state)):
+                state.tick()
+                self._exec_block(stmt.body, env, globals_env, state)
+        elif isinstance(stmt, ast.Return):
+            value = (
+                self._eval(stmt.value, env, globals_env, state)
+                if stmt.value is not None
+                else None
+            )
+            raise _ReturnValue(value)
+        elif isinstance(stmt, ast.Assert):
+            if not truth(self._eval(stmt.cond, env, globals_env, state)):
+                raise AssertionFailure(stmt.line, "assertion")
+        elif isinstance(stmt, ast.Assume):
+            if not truth(self._eval(stmt.cond, env, globals_env, state)):
+                raise _AssumptionViolated(stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env, globals_env, state)
+        elif isinstance(stmt, ast.Print):
+            state.result.outputs.append(self._eval(stmt.value, env, globals_env, state))
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(f"statement {type(stmt).__name__}")
+
+    def _store(
+        self, name: str, value: int, env: dict[str, object], globals_env: dict[str, object]
+    ) -> None:
+        if name in env:
+            env[name] = value
+        elif name in globals_env:
+            globals_env[name] = value
+        else:
+            env[name] = value
+
+    def _lookup_array(
+        self, name: str, line: int, env: dict[str, object], globals_env: dict[str, object]
+    ) -> list[int]:
+        for scope in (env, globals_env):
+            value = scope.get(name)
+            if isinstance(value, list):
+                return value
+        raise AssertionFailure(line, f"undeclared array {name!r}")
+
+    def _eval(
+        self,
+        expr: ast.Expr,
+        env: dict[str, object],
+        globals_env: dict[str, object],
+        state: "_State",
+    ) -> int:
+        state.tick()
+        if isinstance(expr, ast.IntLiteral):
+            return wrap(expr.value, self.width)
+        if isinstance(expr, ast.VarRef):
+            for scope in (env, globals_env):
+                if expr.name in scope:
+                    value = scope[expr.name]
+                    if isinstance(value, list):
+                        raise AssertionFailure(expr.line, f"array {expr.name!r} used as scalar")
+                    return value
+            raise AssertionFailure(expr.line, f"undeclared variable {expr.name!r}")
+        if isinstance(expr, ast.ArrayRef):
+            index = self._eval(expr.index, env, globals_env, state)
+            array = self._lookup_array(expr.name, expr.line, env, globals_env)
+            if index < 0 or index >= len(array):
+                if self.check_bounds:
+                    raise AssertionFailure(expr.line, "array bounds")
+                return 0
+            return array[index]
+        if isinstance(expr, ast.UnaryOp):
+            return apply_unary(expr.op, self._eval(expr.operand, env, globals_env, state), self.width)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._eval(expr.left, env, globals_env, state)
+            if expr.op == "&&" and not truth(left):
+                return 0
+            if expr.op == "||" and truth(left):
+                return 1
+            right = self._eval(expr.right, env, globals_env, state)
+            return apply_binary(expr.op, left, right, self.width)
+        if isinstance(expr, ast.Conditional):
+            condition = self._eval(expr.cond, env, globals_env, state)
+            branch = expr.then if truth(condition) else expr.otherwise
+            return self._eval(branch, env, globals_env, state)
+        if isinstance(expr, ast.Call):
+            if expr.name == "nondet":
+                return wrap(state.next_nondet(), self.width)
+            callee = self.program.function(expr.name)
+            arguments = {
+                name: self._eval(arg, env, globals_env, state)
+                for name, arg in zip(callee.params, expr.args)
+            }
+            value = self._call(callee, arguments, globals_env, state)
+            return value if value is not None else 0
+        raise NotImplementedError(f"expression {type(expr).__name__}")  # pragma: no cover
+
+
+@dataclass
+class _State:
+    """Mutable per-run bookkeeping shared across the call tree."""
+
+    result: ExecutionResult
+    nondet_values: list[int]
+    max_steps: int
+    steps: int = 0
+    nondet_index: int = 0
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise RuntimeBudgetExceeded(
+                f"execution exceeded {self.max_steps} steps (possible infinite loop)"
+            )
+
+    def next_nondet(self) -> int:
+        if self.nondet_index < len(self.nondet_values):
+            value = self.nondet_values[self.nondet_index]
+            self.nondet_index += 1
+            return value
+        return 0

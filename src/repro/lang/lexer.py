@@ -1,0 +1,118 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "int",
+    "void",
+    "if",
+    "else",
+    "while",
+    "return",
+    "assert",
+    "assume",
+    "true",
+    "false",
+}
+
+# Multi-character operators must be matched before their prefixes.
+SYMBOLS = [
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "=",
+    "!",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "?",
+    ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source line."""
+
+    kind: str  # "int", "ident", "keyword", "symbol", "eof"
+    text: str
+    line: int
+
+
+class LexError(ValueError):
+    """Raised on malformed input."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list terminated by an ``eof`` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and source[position].isdigit():
+                position += 1
+            yield Token("int", source[start:position], line)
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line)
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, position):
+                yield Token("symbol", symbol, line)
+                position += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line)
+    yield Token("eof", "", line)

@@ -1,0 +1,345 @@
+"""Recursive-descent parser for the mini-C language."""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the source does not conform to the mini-C grammar."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def parse_program(source: str, name: str = "<program>") -> ast.Program:
+    """Parse mini-C source text into a :class:`repro.lang.ast.Program`."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    program.source = source
+    program.name = name
+    return program
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._position += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        token = self._current
+        wanted = text if text is not None else kind
+        raise ParseError(f"expected {wanted!r}, found {token.text!r}", token.line)
+
+    # ------------------------------------------------------------ top level
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self._check("eof"):
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program: ast.Program) -> None:
+        start = self._current
+        if not (self._check("keyword", "int") or self._check("keyword", "void")):
+            raise ParseError(
+                f"expected a declaration or function, found {start.text!r}", start.line
+            )
+        returns_value = self._advance().text == "int"
+        name_token = self._expect("ident")
+        if self._check("symbol", "("):
+            program.functions[name_token.text] = self._parse_function(
+                name_token, returns_value
+            )
+            return
+        if not returns_value:
+            raise ParseError("global variables must have type int", name_token.line)
+        program.globals.append(self._parse_global_tail(name_token))
+
+    def _parse_global_tail(self, name_token: Token) -> ast.VarDecl | ast.ArrayDecl:
+        if self._accept("symbol", "["):
+            size_token = self._expect("int")
+            self._expect("symbol", "]")
+            init: tuple[ast.Expr, ...] = ()
+            if self._accept("symbol", "="):
+                self._expect("symbol", "{")
+                values = [self._parse_expr()]
+                while self._accept("symbol", ","):
+                    values.append(self._parse_expr())
+                self._expect("symbol", "}")
+                init = tuple(values)
+            self._expect("symbol", ";")
+            return ast.ArrayDecl(
+                line=name_token.line,
+                name=name_token.text,
+                size=int(size_token.text),
+                init=init,
+            )
+        init_expr = None
+        if self._accept("symbol", "="):
+            init_expr = self._parse_expr()
+        self._expect("symbol", ";")
+        return ast.VarDecl(line=name_token.line, name=name_token.text, init=init_expr)
+
+    def _parse_function(self, name_token: Token, returns_value: bool) -> ast.Function:
+        self._expect("symbol", "(")
+        params: list[str] = []
+        if not self._check("symbol", ")"):
+            if self._accept("keyword", "void"):
+                pass
+            else:
+                while True:
+                    self._expect("keyword", "int")
+                    params.append(self._expect("ident").text)
+                    if not self._accept("symbol", ","):
+                        break
+        self._expect("symbol", ")")
+        body = self._parse_block()
+        return ast.Function(
+            name=name_token.text,
+            params=tuple(params),
+            body=body,
+            returns_value=returns_value,
+            line=name_token.line,
+        )
+
+    # ------------------------------------------------------------ statements
+
+    def _parse_block(self) -> tuple[ast.Stmt, ...]:
+        self._expect("symbol", "{")
+        statements: list[ast.Stmt] = []
+        while not self._check("symbol", "}"):
+            statements.extend(self._parse_statement())
+        self._expect("symbol", "}")
+        return tuple(statements)
+
+    def _parse_body(self) -> tuple[ast.Stmt, ...]:
+        """A statement or a braced block (for if/while bodies)."""
+        if self._check("symbol", "{"):
+            return self._parse_block()
+        return tuple(self._parse_statement())
+
+    def _parse_statement(self) -> list[ast.Stmt]:
+        token = self._current
+        if self._check("keyword", "int"):
+            return [self._parse_local_declaration()]
+        if self._accept("keyword", "if"):
+            self._expect("symbol", "(")
+            cond = self._parse_expr()
+            self._expect("symbol", ")")
+            then_body = self._parse_body()
+            else_body: tuple[ast.Stmt, ...] = ()
+            if self._accept("keyword", "else"):
+                else_body = self._parse_body()
+            return [
+                ast.If(line=token.line, cond=cond, then_body=then_body, else_body=else_body)
+            ]
+        if self._accept("keyword", "while"):
+            self._expect("symbol", "(")
+            cond = self._parse_expr()
+            self._expect("symbol", ")")
+            body = self._parse_body()
+            return [ast.While(line=token.line, cond=cond, body=body)]
+        if self._accept("keyword", "return"):
+            value = None
+            if not self._check("symbol", ";"):
+                value = self._parse_expr()
+            self._expect("symbol", ";")
+            return [ast.Return(line=token.line, value=value)]
+        if self._accept("keyword", "assert"):
+            self._expect("symbol", "(")
+            cond = self._parse_expr()
+            self._expect("symbol", ")")
+            self._expect("symbol", ";")
+            return [ast.Assert(line=token.line, cond=cond)]
+        if self._accept("keyword", "assume"):
+            self._expect("symbol", "(")
+            cond = self._parse_expr()
+            self._expect("symbol", ")")
+            self._expect("symbol", ";")
+            return [ast.Assume(line=token.line, cond=cond)]
+        if self._check("symbol", "{"):
+            return list(self._parse_block())
+        if self._check("ident"):
+            return [self._parse_simple_statement()]
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+    def _parse_local_declaration(self) -> ast.Stmt:
+        token = self._expect("keyword", "int")
+        name = self._expect("ident").text
+        if self._accept("symbol", "["):
+            size = int(self._expect("int").text)
+            self._expect("symbol", "]")
+            init: tuple[ast.Expr, ...] = ()
+            if self._accept("symbol", "="):
+                self._expect("symbol", "{")
+                values = [self._parse_expr()]
+                while self._accept("symbol", ","):
+                    values.append(self._parse_expr())
+                self._expect("symbol", "}")
+                init = tuple(values)
+            self._expect("symbol", ";")
+            return ast.ArrayDecl(line=token.line, name=name, size=size, init=init)
+        init_expr = None
+        if self._accept("symbol", "="):
+            init_expr = self._parse_expr()
+        self._expect("symbol", ";")
+        return ast.VarDecl(line=token.line, name=name, init=init_expr)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        name_token = self._expect("ident")
+        if self._accept("symbol", "="):
+            value = self._parse_expr()
+            self._expect("symbol", ";")
+            return ast.Assign(line=name_token.line, name=name_token.text, value=value)
+        if self._accept("symbol", "["):
+            index = self._parse_expr()
+            self._expect("symbol", "]")
+            self._expect("symbol", "=")
+            value = self._parse_expr()
+            self._expect("symbol", ";")
+            return ast.ArrayAssign(
+                line=name_token.line, name=name_token.text, index=index, value=value
+            )
+        if self._check("symbol", "("):
+            call = self._parse_call(name_token)
+            self._expect("symbol", ";")
+            if name_token.text == "print_int":
+                if len(call.args) != 1:
+                    raise ParseError("print_int takes exactly one argument", name_token.line)
+                return ast.Print(line=name_token.line, value=call.args[0])
+            return ast.ExprStmt(line=name_token.line, expr=call)
+        raise ParseError(
+            f"expected '=', '[' or '(' after identifier {name_token.text!r}",
+            name_token.line,
+        )
+
+    # ----------------------------------------------------------- expressions
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_conditional()
+
+    def _parse_conditional(self) -> ast.Expr:
+        condition = self._parse_logical_or()
+        if self._check("symbol", "?"):
+            token = self._advance()
+            then_expr = self._parse_expr()
+            self._expect("symbol", ":")
+            else_expr = self._parse_conditional()
+            return ast.Conditional(
+                line=token.line, cond=condition, then=then_expr, otherwise=else_expr
+            )
+        return condition
+
+    def _parse_logical_or(self) -> ast.Expr:
+        expr = self._parse_logical_and()
+        while self._check("symbol", "||"):
+            token = self._advance()
+            right = self._parse_logical_and()
+            expr = ast.BinaryOp(line=token.line, op="||", left=expr, right=right)
+        return expr
+
+    def _parse_logical_and(self) -> ast.Expr:
+        expr = self._parse_equality()
+        while self._check("symbol", "&&"):
+            token = self._advance()
+            right = self._parse_equality()
+            expr = ast.BinaryOp(line=token.line, op="&&", left=expr, right=right)
+        return expr
+
+    def _parse_equality(self) -> ast.Expr:
+        expr = self._parse_relational()
+        while self._check("symbol", "==") or self._check("symbol", "!="):
+            token = self._advance()
+            right = self._parse_relational()
+            expr = ast.BinaryOp(line=token.line, op=token.text, left=expr, right=right)
+        return expr
+
+    def _parse_relational(self) -> ast.Expr:
+        expr = self._parse_additive()
+        while any(self._check("symbol", op) for op in ("<", "<=", ">", ">=")):
+            token = self._advance()
+            right = self._parse_additive()
+            expr = ast.BinaryOp(line=token.line, op=token.text, left=expr, right=right)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self._check("symbol", "+") or self._check("symbol", "-"):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            expr = ast.BinaryOp(line=token.line, op=token.text, left=expr, right=right)
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while any(self._check("symbol", op) for op in ("*", "/", "%")):
+            token = self._advance()
+            right = self._parse_unary()
+            expr = ast.BinaryOp(line=token.line, op=token.text, left=expr, right=right)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check("symbol", "-") or self._check("symbol", "!"):
+            token = self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, op=token.text, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if self._accept("symbol", "("):
+            expr = self._parse_expr()
+            self._expect("symbol", ")")
+            return expr
+        if self._check("int"):
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=int(token.text))
+        if self._accept("keyword", "true"):
+            return ast.IntLiteral(line=token.line, value=1)
+        if self._accept("keyword", "false"):
+            return ast.IntLiteral(line=token.line, value=0)
+        if self._check("ident"):
+            name_token = self._advance()
+            if self._check("symbol", "("):
+                return self._parse_call(name_token)
+            if self._accept("symbol", "["):
+                index = self._parse_expr()
+                self._expect("symbol", "]")
+                return ast.ArrayRef(line=name_token.line, name=name_token.text, index=index)
+            return ast.VarRef(line=name_token.line, name=name_token.text)
+        raise ParseError(f"unexpected token {token.text!r} in expression", token.line)
+
+    def _parse_call(self, name_token: Token) -> ast.Call:
+        self._expect("symbol", "(")
+        args: list[ast.Expr] = []
+        if not self._check("symbol", ")"):
+            args.append(self._parse_expr())
+            while self._accept("symbol", ","):
+                args.append(self._parse_expr())
+        self._expect("symbol", ")")
+        return ast.Call(line=name_token.line, name=name_token.text, args=tuple(args))

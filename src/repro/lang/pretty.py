@@ -1,0 +1,102 @@
+"""Pretty printer: turn an AST back into compilable mini-C source.
+
+Used to display repaired programs (Algorithm 2 mutates the AST and the
+repair report shows the patched source) and in tests to check that
+parse/print round-trips preserve programs.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_INDENT = "    "
+
+
+def format_expr(expr: ast.Expr) -> str:
+    """Render an expression (fully parenthesised to avoid precedence issues)."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        return f"{expr.name}[{format_expr(expr.index)}]"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}({format_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, ast.Conditional):
+        return (
+            f"({format_expr(expr.cond)} ? {format_expr(expr.then)}"
+            f" : {format_expr(expr.otherwise)})"
+        )
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise NotImplementedError(f"expression {type(expr).__name__}")
+
+
+def format_stmt(stmt: ast.Stmt, indent: int = 0) -> list[str]:
+    """Render a statement as a list of indented source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.init is None:
+            return [f"{pad}int {stmt.name};"]
+        return [f"{pad}int {stmt.name} = {format_expr(stmt.init)};"]
+    if isinstance(stmt, ast.ArrayDecl):
+        if stmt.init:
+            values = ", ".join(format_expr(value) for value in stmt.init)
+            return [f"{pad}int {stmt.name}[{stmt.size}] = {{{values}}};"]
+        return [f"{pad}int {stmt.name}[{stmt.size}];"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.name} = {format_expr(stmt.value)};"]
+    if isinstance(stmt, ast.ArrayAssign):
+        return [
+            f"{pad}{stmt.name}[{format_expr(stmt.index)}] = {format_expr(stmt.value)};"
+        ]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({format_expr(stmt.cond)}) {{"]
+        for inner in stmt.then_body:
+            lines.extend(format_stmt(inner, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                lines.extend(format_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({format_expr(stmt.cond)}) {{"]
+        for inner in stmt.body:
+            lines.extend(format_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {format_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Assert):
+        return [f"{pad}assert({format_expr(stmt.cond)});"]
+    if isinstance(stmt, ast.Assume):
+        return [f"{pad}assume({format_expr(stmt.cond)});"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{format_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.Print):
+        return [f"{pad}print_int({format_expr(stmt.value)});"]
+    raise NotImplementedError(f"statement {type(stmt).__name__}")
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a whole program back into mini-C source text."""
+    lines: list[str] = []
+    for decl in program.globals:
+        lines.extend(format_stmt(decl))
+    if program.globals:
+        lines.append("")
+    for function in program.functions.values():
+        return_type = "int" if function.returns_value else "void"
+        params = ", ".join(f"int {name}" for name in function.params)
+        lines.append(f"{return_type} {function.name}({params}) {{")
+        for stmt in function.body:
+            lines.extend(format_stmt(stmt, 1))
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

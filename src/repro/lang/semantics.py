@@ -1,0 +1,88 @@
+"""Shared fixed-width integer semantics.
+
+The interpreter (concrete reference semantics) and the CNF encoder
+(bit-precise symbolic semantics) must agree exactly on arithmetic, otherwise
+the extended trace formula of a failing run might not be unsatisfiable.
+Both sides therefore route every operation through this module.
+
+Integers are ``width``-bit two's complement with silent wrap-around.
+Division and modulo follow C semantics (truncation toward zero); division by
+zero is *defined* here to yield 0 (and ``x % 0 == x``) so that the encoder
+does not need partial functions — benchmark programs never rely on it.
+"""
+
+from __future__ import annotations
+
+DEFAULT_WIDTH = 16
+
+
+def wrap(value: int, width: int = DEFAULT_WIDTH) -> int:
+    """Wrap an unbounded integer into ``width``-bit two's complement."""
+    mask = (1 << width) - 1
+    value &= mask
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def to_unsigned(value: int, width: int = DEFAULT_WIDTH) -> int:
+    """Two's-complement bit pattern of ``value`` as an unsigned integer."""
+    return value & ((1 << width) - 1)
+
+
+def truth(value: int) -> bool:
+    """C truthiness: any non-zero value is true."""
+    return value != 0
+
+
+def apply_binary(op: str, left: int, right: int, width: int = DEFAULT_WIDTH) -> int:
+    """Evaluate a binary operator with fixed-width wrap-around semantics."""
+    if op == "+":
+        return wrap(left + right, width)
+    if op == "-":
+        return wrap(left - right, width)
+    if op == "*":
+        return wrap(left * right, width)
+    if op == "/":
+        return wrap(_c_div(left, right), width)
+    if op == "%":
+        return wrap(_c_mod(left, right), width)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "&&":
+        return int(truth(left) and truth(right))
+    if op == "||":
+        return int(truth(left) or truth(right))
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def apply_unary(op: str, operand: int, width: int = DEFAULT_WIDTH) -> int:
+    """Evaluate a unary operator with fixed-width wrap-around semantics."""
+    if op == "-":
+        return wrap(-operand, width)
+    if op == "!":
+        return int(not truth(operand))
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def _c_div(left: int, right: int) -> int:
+    if right == 0:
+        return 0
+    quotient = abs(left) // abs(right)
+    return quotient if (left >= 0) == (right >= 0) else -quotient
+
+
+def _c_mod(left: int, right: int) -> int:
+    if right == 0:
+        return left
+    return left - _c_div(left, right) * right

@@ -1,0 +1,256 @@
+"""AST transformations used by the automated-repair extension.
+
+Algorithm 2 of the paper repairs off-by-one errors by taking a reported bug
+line that contains a constant ``k`` and producing two patched programs with
+``k + 1`` and ``k - 1``.  The same machinery supports operator replacement
+(``<`` for ``<=``, ``+`` for ``-`` and so on), which the paper mentions as a
+further class of common programmer errors.
+
+All transformations are *pure*: they return a new :class:`Program` and never
+mutate the input AST (statements and expressions are frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.lang import ast
+
+# Operator substitution candidates, following the paper's examples: confusing
+# a comparison with its neighbour, plus with minus, etc.
+OPERATOR_ALTERNATIVES: dict[str, tuple[str, ...]] = {
+    "<": ("<=", ">"),
+    "<=": ("<", ">="),
+    ">": (">=", "<"),
+    ">=": (">", "<="),
+    "==": ("!=",),
+    "!=": ("==",),
+    "+": ("-",),
+    "-": ("+",),
+    "*": ("/",),
+    "/": ("*",),
+    "&&": ("||",),
+    "||": ("&&",),
+}
+
+
+def constants_on_line(program: ast.Program, line: int) -> list[int]:
+    """All integer literals appearing in statements on the given source line."""
+    constants: list[int] = []
+
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            constants.append(expr.value)
+        elif isinstance(expr, ast.UnaryOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.BinaryOp):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.Conditional):
+            visit_expr(expr.cond)
+            visit_expr(expr.then)
+            visit_expr(expr.otherwise)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.ArrayRef):
+            visit_expr(expr.index)
+
+    for expr, expr_line in _expressions_with_lines(program):
+        if expr_line == line:
+            visit_expr(expr)
+    return constants
+
+
+def operators_on_line(program: ast.Program, line: int) -> list[str]:
+    """All binary operators appearing in statements on the given source line."""
+    operators: list[str] = []
+
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.BinaryOp):
+            operators.append(expr.op)
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.UnaryOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.Conditional):
+            visit_expr(expr.cond)
+            visit_expr(expr.then)
+            visit_expr(expr.otherwise)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.ArrayRef):
+            visit_expr(expr.index)
+
+    for expr, expr_line in _expressions_with_lines(program):
+        if expr_line == line:
+            visit_expr(expr)
+    return operators
+
+
+def replace_constant_on_line(
+    program: ast.Program, line: int, old_value: int, new_value: int
+) -> ast.Program:
+    """Return a copy of ``program`` with one constant on ``line`` replaced.
+
+    Every occurrence of the literal ``old_value`` inside statements whose
+    source line is ``line`` is replaced by ``new_value``.
+    """
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.IntLiteral) and expr.value == old_value:
+            return replace(expr, value=new_value)
+        return expr
+
+    return _rewrite_program(program, line, rewrite)
+
+
+def replace_operator_on_line(
+    program: ast.Program, line: int, old_op: str, new_op: str
+) -> ast.Program:
+    """Return a copy of ``program`` with operator ``old_op`` on ``line`` replaced."""
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BinaryOp) and expr.op == old_op:
+            return replace(expr, op=new_op)
+        return expr
+
+    return _rewrite_program(program, line, rewrite)
+
+
+# ----------------------------------------------------------------- internals
+
+
+def _expressions_with_lines(program: ast.Program) -> list[tuple[ast.Expr, int]]:
+    pairs: list[tuple[ast.Expr, int]] = []
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        for expr in _statement_expressions(stmt):
+            pairs.append((expr, stmt.line))
+        if isinstance(stmt, ast.If):
+            for inner in stmt.then_body + stmt.else_body:
+                visit_stmt(inner)
+        elif isinstance(stmt, ast.While):
+            for inner in stmt.body:
+                visit_stmt(inner)
+
+    for function in program.functions.values():
+        for stmt in function.body:
+            visit_stmt(stmt)
+    for decl in program.globals:
+        for expr in _statement_expressions(decl):
+            pairs.append((expr, decl.line))
+    return pairs
+
+
+def _statement_expressions(stmt: ast.Stmt) -> tuple[ast.Expr, ...]:
+    if isinstance(stmt, ast.VarDecl):
+        return (stmt.init,) if stmt.init is not None else ()
+    if isinstance(stmt, ast.ArrayDecl):
+        return stmt.init
+    if isinstance(stmt, ast.Assign):
+        return (stmt.value,)
+    if isinstance(stmt, ast.ArrayAssign):
+        return (stmt.index, stmt.value)
+    if isinstance(stmt, (ast.If, ast.While)):
+        return (stmt.cond,)
+    if isinstance(stmt, ast.Return):
+        return (stmt.value,) if stmt.value is not None else ()
+    if isinstance(stmt, (ast.Assert, ast.Assume)):
+        return (stmt.cond,)
+    if isinstance(stmt, ast.ExprStmt):
+        return (stmt.expr,)
+    if isinstance(stmt, ast.Print):
+        return (stmt.value,)
+    return ()
+
+
+def _rewrite_program(
+    program: ast.Program, line: int, rewrite: Callable[[ast.Expr], ast.Expr]
+) -> ast.Program:
+    def rewrite_expr(expr: Optional[ast.Expr], active: bool) -> Optional[ast.Expr]:
+        if expr is None:
+            return None
+        if not active:
+            return expr
+        expr = rewrite(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return replace(expr, operand=rewrite_expr(expr.operand, active))
+        if isinstance(expr, ast.BinaryOp):
+            return replace(
+                expr,
+                left=rewrite_expr(expr.left, active),
+                right=rewrite_expr(expr.right, active),
+            )
+        if isinstance(expr, ast.Conditional):
+            return replace(
+                expr,
+                cond=rewrite_expr(expr.cond, active),
+                then=rewrite_expr(expr.then, active),
+                otherwise=rewrite_expr(expr.otherwise, active),
+            )
+        if isinstance(expr, ast.Call):
+            return replace(
+                expr, args=tuple(rewrite_expr(arg, active) for arg in expr.args)
+            )
+        if isinstance(expr, ast.ArrayRef):
+            return replace(expr, index=rewrite_expr(expr.index, active))
+        return expr
+
+    def rewrite_stmt(stmt: ast.Stmt) -> ast.Stmt:
+        active = stmt.line == line
+        if isinstance(stmt, ast.VarDecl):
+            return replace(stmt, init=rewrite_expr(stmt.init, active))
+        if isinstance(stmt, ast.ArrayDecl):
+            return replace(
+                stmt, init=tuple(rewrite_expr(expr, active) for expr in stmt.init)
+            )
+        if isinstance(stmt, ast.Assign):
+            return replace(stmt, value=rewrite_expr(stmt.value, active))
+        if isinstance(stmt, ast.ArrayAssign):
+            return replace(
+                stmt,
+                index=rewrite_expr(stmt.index, active),
+                value=rewrite_expr(stmt.value, active),
+            )
+        if isinstance(stmt, ast.If):
+            return replace(
+                stmt,
+                cond=rewrite_expr(stmt.cond, active),
+                then_body=tuple(rewrite_stmt(inner) for inner in stmt.then_body),
+                else_body=tuple(rewrite_stmt(inner) for inner in stmt.else_body),
+            )
+        if isinstance(stmt, ast.While):
+            return replace(
+                stmt,
+                cond=rewrite_expr(stmt.cond, active),
+                body=tuple(rewrite_stmt(inner) for inner in stmt.body),
+            )
+        if isinstance(stmt, ast.Return):
+            return replace(stmt, value=rewrite_expr(stmt.value, active))
+        if isinstance(stmt, (ast.Assert, ast.Assume)):
+            return replace(stmt, cond=rewrite_expr(stmt.cond, active))
+        if isinstance(stmt, ast.ExprStmt):
+            return replace(stmt, expr=rewrite_expr(stmt.expr, active))
+        if isinstance(stmt, ast.Print):
+            return replace(stmt, value=rewrite_expr(stmt.value, active))
+        return stmt
+
+    patched = ast.Program(
+        globals=[rewrite_stmt(decl) for decl in program.globals],
+        functions={
+            name: ast.Function(
+                name=function.name,
+                params=function.params,
+                body=tuple(rewrite_stmt(stmt) for stmt in function.body),
+                returns_value=function.returns_value,
+                line=function.line,
+            )
+            for name, function in program.functions.items()
+        },
+        source=program.source,
+        name=program.name,
+    )
+    return patched

@@ -1,0 +1,166 @@
+"""A lightweight semantic checker for mini-C programs.
+
+Everything in mini-C is an ``int``, so "type checking" here means checking
+that names are declared, arrays are used as arrays, calls have the right
+arity, and void functions do not return values.  The goal is to reject
+malformed benchmark programs early with a clear message rather than failing
+deep inside the encoder.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+BUILTIN_FUNCTIONS = {"nondet": 0}
+
+
+class TypeError_(ValueError):
+    """Raised when a program fails the semantic checks."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def check_program(program: ast.Program) -> None:
+    """Validate a parsed program, raising :class:`TypeError_` on problems."""
+    global_scalars = {decl.name for decl in program.globals if isinstance(decl, ast.VarDecl)}
+    global_arrays = {
+        decl.name: decl.size for decl in program.globals if isinstance(decl, ast.ArrayDecl)
+    }
+    duplicate = global_scalars & set(global_arrays)
+    if duplicate:
+        raise TypeError_(f"names declared twice at global scope: {sorted(duplicate)}", 1)
+
+    for function in program.functions.values():
+        _check_function(program, function, global_scalars, set(global_arrays))
+
+
+def _collect_locals(body: tuple[ast.Stmt, ...]) -> tuple[set[str], dict[str, int]]:
+    scalars: set[str] = set()
+    arrays: dict[str, int] = {}
+
+    def visit(statements: tuple[ast.Stmt, ...]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ast.VarDecl):
+                scalars.add(stmt.name)
+            elif isinstance(stmt, ast.ArrayDecl):
+                arrays[stmt.name] = stmt.size
+            elif isinstance(stmt, ast.If):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body)
+
+    visit(body)
+    return scalars, arrays
+
+
+def _check_function(
+    program: ast.Program,
+    function: ast.Function,
+    global_scalars: set[str],
+    global_arrays: set[str],
+) -> None:
+    local_scalars, local_arrays = _collect_locals(function.body)
+    scalars = global_scalars | local_scalars | set(function.params)
+    arrays = global_arrays | set(local_arrays)
+
+    def check_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            return
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in scalars:
+                if expr.name in arrays:
+                    raise TypeError_(
+                        f"array {expr.name!r} used without an index", expr.line
+                    )
+                raise TypeError_(f"undeclared variable {expr.name!r}", expr.line)
+            return
+        if isinstance(expr, ast.ArrayRef):
+            if expr.name not in arrays:
+                raise TypeError_(f"undeclared array {expr.name!r}", expr.line)
+            check_expr(expr.index)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op not in ("-", "!"):
+                raise TypeError_(f"unknown unary operator {expr.op!r}", expr.line)
+            check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op not in ast.ALL_BINARY_OPS:
+                raise TypeError_(f"unknown operator {expr.op!r}", expr.line)
+            check_expr(expr.left)
+            check_expr(expr.right)
+            return
+        if isinstance(expr, ast.Conditional):
+            check_expr(expr.cond)
+            check_expr(expr.then)
+            check_expr(expr.otherwise)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name in BUILTIN_FUNCTIONS:
+                expected = BUILTIN_FUNCTIONS[expr.name]
+                if len(expr.args) != expected:
+                    raise TypeError_(
+                        f"builtin {expr.name!r} takes {expected} arguments", expr.line
+                    )
+            elif expr.name in program.functions:
+                callee = program.functions[expr.name]
+                if len(expr.args) != len(callee.params):
+                    raise TypeError_(
+                        f"call to {expr.name!r} with {len(expr.args)} arguments, "
+                        f"expected {len(callee.params)}",
+                        expr.line,
+                    )
+            else:
+                raise TypeError_(f"call to undefined function {expr.name!r}", expr.line)
+            for arg in expr.args:
+                check_expr(arg)
+            return
+        raise TypeError_(f"unknown expression node {type(expr).__name__}", expr.line)
+
+    def check_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                check_expr(stmt.init)
+        elif isinstance(stmt, ast.ArrayDecl):
+            for value in stmt.init:
+                check_expr(value)
+        elif isinstance(stmt, ast.Assign):
+            if stmt.name not in scalars:
+                raise TypeError_(f"assignment to undeclared variable {stmt.name!r}", stmt.line)
+            check_expr(stmt.value)
+        elif isinstance(stmt, ast.ArrayAssign):
+            if stmt.name not in arrays:
+                raise TypeError_(f"assignment to undeclared array {stmt.name!r}", stmt.line)
+            check_expr(stmt.index)
+            check_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            check_expr(stmt.cond)
+            for inner in stmt.then_body:
+                check_stmt(inner)
+            for inner in stmt.else_body:
+                check_stmt(inner)
+        elif isinstance(stmt, ast.While):
+            check_expr(stmt.cond)
+            for inner in stmt.body:
+                check_stmt(inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if not function.returns_value:
+                    raise TypeError_(
+                        f"void function {function.name!r} returns a value", stmt.line
+                    )
+                check_expr(stmt.value)
+        elif isinstance(stmt, (ast.Assert, ast.Assume)):
+            check_expr(stmt.cond)
+        elif isinstance(stmt, ast.ExprStmt):
+            check_expr(stmt.expr)
+        elif isinstance(stmt, ast.Print):
+            check_expr(stmt.value)
+        else:
+            raise TypeError_(f"unknown statement node {type(stmt).__name__}", stmt.line)
+
+    for stmt in function.body:
+        check_stmt(stmt)

@@ -1,0 +1,44 @@
+"""Partial weighted MaxSAT substrate.
+
+The paper feeds the extended trace formula to a partial MAX-SAT solver
+(MSUnCORE) and uses the *complement of a maximum satisfiable subset*
+(CoMSS, also called a minimum correction set) as the set of candidate bug
+locations.  This package provides that functionality on top of the CDCL
+solver in :mod:`repro.sat`:
+
+* :class:`WCNF` — a partial weighted CNF container (hard clauses plus
+  weighted soft clauses, optionally labelled so results map back to program
+  statements).
+* Three solving engines, selectable through :func:`solve_maxsat`:
+
+  - ``"hitting-set"`` (:class:`HittingSetMaxSat`) — an implicit-hitting-set
+    (MaxHS-style) engine; exact for weighted and unweighted instances and
+    the default used by BugAssist.
+  - ``"msu3"`` (:class:`Msu3MaxSat`) — unsatisfiable-core-guided search in
+    the style of MSUnCORE/MSU3 (unweighted partial MaxSAT).
+  - ``"linear"`` (:class:`LinearSearchMaxSat`) — SAT/UNSAT linear search
+    over the cost bound using a totalizer cardinality encoding.
+
+* :func:`enumerate_mcses` — enumeration of minimal correction sets in order
+  of increasing cost, the building block behind the localization loop.
+"""
+
+from repro.maxsat.wcnf import WCNF, SoftClause
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.hitting_set import HittingSetMaxSat
+from repro.maxsat.msu3 import Msu3MaxSat
+from repro.maxsat.linear_search import LinearSearchMaxSat
+from repro.maxsat.facade import solve_maxsat, make_engine
+from repro.maxsat.mcs import enumerate_mcses
+
+__all__ = [
+    "WCNF",
+    "SoftClause",
+    "MaxSatResult",
+    "HittingSetMaxSat",
+    "Msu3MaxSat",
+    "LinearSearchMaxSat",
+    "solve_maxsat",
+    "make_engine",
+    "enumerate_mcses",
+]

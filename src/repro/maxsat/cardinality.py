@@ -1,0 +1,135 @@
+"""Cardinality-constraint encodings (totalizer and sequential counter).
+
+Unsatisfiability-based MaxSAT solvers relax clauses in each unsatisfiable
+sub-formula and then "use cardinality constraints to constrain the number of
+relaxed clauses" (paper Section 3.3).  Both encodings produce auxiliary
+output variables; constraining the outputs yields at-most-k / at-least-k
+constraints over the input literals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+
+class TotalizerEncoding:
+    """Totalizer encoding of ``sum(inputs) compared-to k``.
+
+    After construction, ``outputs[j]`` (0-based) is an auxiliary literal that
+    is forced true whenever at least ``j + 1`` of the input literals are
+    true.  Asserting ``-outputs[k]`` therefore enforces *at most k* true
+    inputs; asserting ``outputs[k - 1]`` enforces *at least k*.
+
+    Clauses are emitted through the ``add_clause`` callback so the encoding
+    can target either a :class:`repro.sat.Solver` or a :class:`WCNF`.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[int],
+        new_var: Callable[[], int],
+        add_clause: Callable[[list[int]], object],
+        both_directions: bool = True,
+    ) -> None:
+        self._new_var = new_var
+        self._add_clause = add_clause
+        self._both = both_directions
+        self.inputs = list(inputs)
+        self.outputs = self._build(self.inputs)
+
+    def _build(self, lits: list[int]) -> list[int]:
+        if len(lits) <= 1:
+            return list(lits)
+        mid = len(lits) // 2
+        left = self._build(lits[:mid])
+        right = self._build(lits[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: list[int], right: list[int]) -> list[int]:
+        total = len(left) + len(right)
+        outputs = [self._new_var() for _ in range(total)]
+        # sum(left) >= i and sum(right) >= j  implies  sum >= i + j
+        for i in range(len(left) + 1):
+            for j in range(len(right) + 1):
+                if i + j == 0:
+                    continue
+                clause: list[int] = []
+                if i > 0:
+                    clause.append(-left[i - 1])
+                if j > 0:
+                    clause.append(-right[j - 1])
+                clause.append(outputs[i + j - 1])
+                self._add_clause(clause)
+        if self._both:
+            # sum(left) <= i and sum(right) <= j  implies  sum <= i + j
+            for i in range(len(left) + 1):
+                for j in range(len(right) + 1):
+                    if i + j == total:
+                        continue
+                    clause = []
+                    if i < len(left):
+                        clause.append(left[i])
+                    if j < len(right):
+                        clause.append(right[j])
+                    clause.append(-outputs[i + j])
+                    self._add_clause(clause)
+        return outputs
+
+    def at_most(self, bound: int) -> list[int]:
+        """Assumption literals enforcing ``sum(inputs) <= bound``."""
+        if bound >= len(self.outputs):
+            return []
+        return [-self.outputs[bound]]
+
+    def at_least(self, bound: int) -> list[int]:
+        """Assumption literals enforcing ``sum(inputs) >= bound``."""
+        if bound <= 0:
+            return []
+        if bound > len(self.outputs):
+            raise ValueError("bound exceeds the number of inputs")
+        return [self.outputs[bound - 1]]
+
+
+def encode_at_most_k(
+    inputs: Sequence[int],
+    bound: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[list[int]], object],
+) -> None:
+    """Sequential-counter encoding of ``at most bound`` of ``inputs`` are true.
+
+    Sinz's sequential counter: registers ``s[i][j]`` meaning "at least j+1 of
+    the first i+1 inputs are true".  Used for one-shot (non-incremental)
+    cardinality constraints.
+    """
+    n = len(inputs)
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    if bound >= n:
+        return
+    if bound == 0:
+        for lit in inputs:
+            add_clause([-lit])
+        return
+    registers = [[new_var() for _ in range(bound)] for _ in range(n)]
+    add_clause([-inputs[0], registers[0][0]])
+    for j in range(1, bound):
+        add_clause([-registers[0][j]])
+    for i in range(1, n):
+        add_clause([-inputs[i], registers[i][0]])
+        add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, bound):
+            add_clause([-inputs[i], -registers[i - 1][j - 1], registers[i][j]])
+            add_clause([-registers[i - 1][j], registers[i][j]])
+        add_clause([-inputs[i], -registers[i - 1][bound - 1]])
+
+
+def encode_exactly_one(
+    inputs: Sequence[int],
+    add_clause: Callable[[list[int]], object],
+) -> None:
+    """Pairwise exactly-one constraint (used by the Fu–Malik style relaxation)."""
+    add_clause(list(inputs))
+    for index, first in enumerate(inputs):
+        for second in inputs[index + 1 :]:
+            add_clause([-first, -second])

@@ -1,0 +1,111 @@
+"""Shared machinery for the MaxSAT engines.
+
+Every engine lowers the soft clauses to *assumption literals* on a single
+incremental :class:`repro.sat.Solver`:
+
+* a unit soft clause ``[l]`` is assumed directly through ``l``;
+* a longer soft clause ``c`` receives a fresh selector ``s`` and the hard
+  clause ``c or not s``, and is assumed through ``s``.
+
+Assuming the literal enforces the soft clause; the literal's negation acts
+as the clause's *violation indicator* for cardinality constraints.  Cores
+returned by the SAT solver are subsets of the assumed literals and map back
+to soft-clause indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.wcnf import WCNF
+from repro.sat import Solver
+
+
+@dataclass
+class _SoftBinding:
+    """Book-keeping tying one soft clause to its assumption literal."""
+
+    index: int
+    assumption: int
+    weight: int
+
+
+class MaxSatEngine:
+    """Base class: instance set-up, model evaluation, result construction."""
+
+    def __init__(self) -> None:
+        self.sat_calls = 0
+
+    # -- interface -----------------------------------------------------------
+
+    def solve(self, wcnf: WCNF) -> MaxSatResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _setup(self, wcnf: WCNF) -> tuple[Solver, list[_SoftBinding], dict[int, int]]:
+        """Load the instance into a fresh solver and bind soft clauses."""
+        solver = Solver()
+        solver.ensure_vars(wcnf.num_vars)
+        for clause in wcnf.hard:
+            solver.add_clause(clause)
+        bindings: list[_SoftBinding] = []
+        assumption_to_index: dict[int, int] = {}
+        for index, soft in enumerate(wcnf.soft):
+            lits = list(soft.lits)
+            if len(lits) == 1 and lits[0] not in assumption_to_index:
+                assumption = lits[0]
+                solver.ensure_vars(abs(assumption))
+            else:
+                selector = solver.new_var()
+                solver.add_clause(lits + [-selector])
+                assumption = selector
+            assumption_to_index[assumption] = index
+            bindings.append(_SoftBinding(index, assumption, soft.weight))
+        return solver, bindings, assumption_to_index
+
+    def _solve(self, solver: Solver, assumptions: list[int]) -> bool:
+        self.sat_calls += 1
+        return solver.solve(assumptions)
+
+    def _hard_clauses_satisfiable(self, solver: Solver) -> bool:
+        return self._solve(solver, [])
+
+    def _result_from_model(self, wcnf: WCNF, solver: Solver) -> MaxSatResult:
+        model = solver.get_model()
+        falsified = [
+            index
+            for index, soft in enumerate(wcnf.soft)
+            if not clause_satisfied(soft.lits, model)
+        ]
+        cost = sum(wcnf.soft[index].weight for index in falsified)
+        labels = [
+            wcnf.soft[index].label
+            for index in falsified
+            if wcnf.soft[index].label is not None
+        ]
+        return MaxSatResult(
+            satisfiable=True,
+            cost=cost,
+            model=model,
+            falsified=falsified,
+            falsified_labels=labels,
+            sat_calls=self.sat_calls,
+        )
+
+    def _unsatisfiable_result(self) -> MaxSatResult:
+        return MaxSatResult(satisfiable=False, sat_calls=self.sat_calls)
+
+
+def clause_satisfied(lits: tuple[int, ...] | list[int], model: dict[int, bool]) -> bool:
+    """Evaluate a clause under a (possibly partial) model.
+
+    Unassigned variables are treated as false, matching the convention that
+    the SAT solver only leaves don't-care variables unassigned.
+    """
+    for lit in lits:
+        value = model.get(abs(lit), False)
+        if value == (lit > 0):
+            return True
+    return False

@@ -1,0 +1,41 @@
+"""User-facing entry points for solving partial MaxSAT instances."""
+
+from __future__ import annotations
+
+from repro.maxsat.engine import MaxSatEngine
+from repro.maxsat.hitting_set import HittingSetMaxSat
+from repro.maxsat.linear_search import LinearSearchMaxSat
+from repro.maxsat.msu3 import Msu3MaxSat
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.wcnf import WCNF
+
+STRATEGIES = ("hitting-set", "msu3", "linear")
+
+
+def make_engine(strategy: str = "hitting-set") -> MaxSatEngine:
+    """Instantiate a MaxSAT engine by name.
+
+    ``"hitting-set"`` (default) is exact for weighted and unweighted
+    instances; ``"msu3"`` and ``"linear"`` handle the unweighted partial
+    MaxSAT instances produced by plain localization and exist mainly for
+    cross-checking and the ablation benchmarks.
+    """
+    if strategy == "hitting-set":
+        return HittingSetMaxSat()
+    if strategy == "msu3":
+        return Msu3MaxSat()
+    if strategy == "linear":
+        return LinearSearchMaxSat()
+    raise ValueError(f"unknown MaxSAT strategy {strategy!r}; expected one of {STRATEGIES}")
+
+
+def solve_maxsat(wcnf: WCNF, strategy: str = "auto") -> MaxSatResult:
+    """Solve a partial weighted MaxSAT instance.
+
+    With ``strategy="auto"`` the hitting-set engine is used, which supports
+    arbitrary positive integer weights.
+    """
+    if strategy == "auto":
+        strategy = "hitting-set"
+    engine = make_engine(strategy)
+    return engine.solve(wcnf)

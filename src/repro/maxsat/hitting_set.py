@@ -1,0 +1,99 @@
+"""Implicit-hitting-set (MaxHS-style) partial weighted MaxSAT engine.
+
+The engine alternates between two oracles:
+
+1. a SAT oracle solving the hard clauses plus the soft clauses not in the
+   current candidate correction set, and
+2. an exact minimum-cost hitting-set oracle over the unsatisfiable cores
+   collected so far.
+
+When the SAT oracle succeeds, the candidate hitting set is an optimal
+correction set (CoMSS) and its cost the MaxSAT optimum.  The approach is
+exact for arbitrary positive integer weights, which is what the
+loop-iteration localization of Section 5.2 needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.maxsat.engine import MaxSatEngine
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.wcnf import WCNF
+
+
+class HittingSetMaxSat(MaxSatEngine):
+    """Exact weighted partial MaxSAT via implicit hitting sets."""
+
+    def __init__(self, max_iterations: int = 100000) -> None:
+        super().__init__()
+        self.max_iterations = max_iterations
+        self.cores: list[frozenset[int]] = []
+
+    def solve(self, wcnf: WCNF) -> MaxSatResult:
+        solver, bindings, assumption_to_index = self._setup(wcnf)
+        if not self._hard_clauses_satisfiable(solver):
+            return self._unsatisfiable_result()
+        weights = [binding.weight for binding in bindings]
+        self.cores = []
+        for _ in range(self.max_iterations):
+            hitting_set = minimum_cost_hitting_set(self.cores, weights)
+            assumptions = [
+                binding.assumption
+                for binding in bindings
+                if binding.index not in hitting_set
+            ]
+            if self._solve(solver, assumptions):
+                return self._result_from_model(wcnf, solver)
+            core_lits = solver.unsat_core()
+            core = frozenset(
+                assumption_to_index[lit]
+                for lit in core_lits
+                if lit in assumption_to_index
+            )
+            if not core:
+                # The conflict does not involve any soft clause: the hard
+                # clauses together with already-forced literals are
+                # inconsistent, so no correction set exists.
+                return self._unsatisfiable_result()
+            self.cores.append(core)
+        raise RuntimeError("hitting-set MaxSAT did not converge within the iteration budget")
+
+
+def minimum_cost_hitting_set(
+    cores: Sequence[frozenset[int]], weights: Sequence[int]
+) -> set[int]:
+    """Exact minimum-cost hitting set by branch and bound.
+
+    ``cores`` is a collection of sets of soft-clause indices; the result is a
+    set of indices intersecting every core with minimum total weight.  The
+    number and size of cores produced by trace formulas is small (they
+    correspond to candidate bug locations), so an exact exponential search is
+    affordable and keeps the engine optimal.
+    """
+    if not cores:
+        return set()
+    ordered = sorted(cores, key=len)
+    best_cost = [sum(weights[index] for core in ordered for index in core) + 1]
+    best_set: list[set[int]] = [set()]
+    found = [False]
+
+    def search(core_position: int, chosen: set[int], cost: int) -> None:
+        if cost >= best_cost[0] and found[0]:
+            return
+        while core_position < len(ordered) and ordered[core_position] & chosen:
+            core_position += 1
+        if core_position == len(ordered):
+            if not found[0] or cost < best_cost[0]:
+                best_cost[0] = cost
+                best_set[0] = set(chosen)
+                found[0] = True
+            return
+        candidates = sorted(ordered[core_position], key=lambda index: weights[index])
+        for index in candidates:
+            chosen.add(index)
+            search(core_position + 1, chosen, cost + weights[index])
+            chosen.discard(index)
+
+    search(0, set(), 0)
+    return best_set[0]

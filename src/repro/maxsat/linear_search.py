@@ -1,0 +1,43 @@
+"""Linear UNSAT-SAT search for unweighted partial MaxSAT.
+
+All soft clauses are relaxed up front and a totalizer over their violation
+indicators bounds how many may be falsified.  The bound is increased from 0
+until the instance becomes satisfiable — the first satisfiable bound is the
+optimum.  This is the simplest complete strategy and serves both as a
+cross-check for the other engines and as the baseline in the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.maxsat.cardinality import TotalizerEncoding
+from repro.maxsat.engine import MaxSatEngine
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.wcnf import WCNF
+
+
+class LinearSearchMaxSat(MaxSatEngine):
+    """UNSAT-to-SAT linear search engine for unweighted partial MaxSAT."""
+
+    def solve(self, wcnf: WCNF) -> MaxSatResult:
+        if wcnf.is_weighted():
+            raise ValueError(
+                "linear-search engine only supports unweighted soft clauses; "
+                "use HittingSetMaxSat for weighted instances"
+            )
+        solver, bindings, _ = self._setup(wcnf)
+        if not self._hard_clauses_satisfiable(solver):
+            return self._unsatisfiable_result()
+        if not bindings:
+            return self._result_from_model(wcnf, solver)
+        indicators = [-binding.assumption for binding in bindings]
+        totalizer = TotalizerEncoding(
+            indicators,
+            new_var=solver.new_var,
+            add_clause=solver.add_clause,
+            both_directions=False,
+        )
+        for bound in range(len(bindings) + 1):
+            if self._solve(solver, totalizer.at_most(bound)):
+                return self._result_from_model(wcnf, solver)
+        return self._unsatisfiable_result()

@@ -1,0 +1,55 @@
+"""Enumeration of minimal correction sets (MCS / CoMSS).
+
+The paper enumerates CoMSSes by repeatedly calling the MaxSAT solver and
+adding a hard *blocking clause* over the selectors of each reported set
+(Algorithm 1, lines 13-14).  This module provides a generic version of that
+loop over arbitrary WCNF instances: correction sets are produced in order of
+non-decreasing cost, and each is blocked by requiring at least one of its
+soft clauses to be satisfied in later iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.maxsat.facade import solve_maxsat
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.wcnf import WCNF
+
+
+def enumerate_mcses(
+    wcnf: WCNF,
+    max_count: int | None = None,
+    strategy: str = "auto",
+) -> Iterator[MaxSatResult]:
+    """Yield correction sets of ``wcnf`` in order of non-decreasing cost.
+
+    Each yielded :class:`MaxSatResult` has ``falsified`` set to an MCS; the
+    instance is then blocked so the same set is not produced twice.  The
+    iteration stops when the blocked instance has no further correction set
+    (the residual MaxSAT instance falsifies nothing new), or after
+    ``max_count`` results.
+    """
+    working = wcnf.copy()
+    produced = 0
+    seen: set[frozenset[int]] = set()
+    while max_count is None or produced < max_count:
+        result = solve_maxsat(working, strategy=strategy)
+        if not result.satisfiable:
+            return
+        if not result.falsified:
+            # Everything satisfiable: no (further) correction set exists.
+            return
+        key = frozenset(result.falsified)
+        if key in seen:
+            # Defensive: a repeated set means blocking failed to cut it off.
+            return
+        seen.add(key)
+        yield result
+        produced += 1
+        blocking: list[int] = []
+        for index in result.falsified:
+            blocking.extend(working.soft[index].lits)
+        # Require at least one clause of the reported correction set to hold
+        # from now on, which excludes exactly this correction set.
+        working.add_hard(blocking)

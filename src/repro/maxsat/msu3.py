@@ -1,0 +1,72 @@
+"""MSU3-style unsatisfiable-core-guided partial MaxSAT.
+
+This mirrors the algorithm family behind MSUnCORE, the solver used by the
+paper: "identifying unsatisfiable sub-formulas and relaxing clauses in each
+unsatisfiable sub-formula by associating a relaxation variable with each
+such clause; cardinality constraints are used to constrain the number of
+relaxed clauses" (Section 3.3).
+
+The engine handles *unweighted* partial MaxSAT (every soft clause weight 1);
+for weighted instances use :class:`repro.maxsat.HittingSetMaxSat`.
+"""
+
+from __future__ import annotations
+
+from repro.maxsat.cardinality import TotalizerEncoding
+from repro.maxsat.engine import MaxSatEngine
+from repro.maxsat.result import MaxSatResult
+from repro.maxsat.wcnf import WCNF
+
+
+class Msu3MaxSat(MaxSatEngine):
+    """Core-guided (MSU3) engine for unweighted partial MaxSAT."""
+
+    def solve(self, wcnf: WCNF) -> MaxSatResult:
+        if wcnf.is_weighted():
+            raise ValueError(
+                "MSU3 engine only supports unweighted soft clauses; "
+                "use HittingSetMaxSat for weighted instances"
+            )
+        solver, bindings, assumption_to_index = self._setup(wcnf)
+        if not self._hard_clauses_satisfiable(solver):
+            return self._unsatisfiable_result()
+
+        relaxed: set[int] = set()
+        bound = 0
+        totalizer: TotalizerEncoding | None = None
+        assumption_of = {binding.index: binding.assumption for binding in bindings}
+
+        while True:
+            assumptions = [
+                assumption_of[binding.index]
+                for binding in bindings
+                if binding.index not in relaxed
+            ]
+            if totalizer is not None:
+                assumptions.extend(totalizer.at_most(bound))
+            if self._solve(solver, assumptions):
+                return self._result_from_model(wcnf, solver)
+
+            core_lits = solver.unsat_core()
+            newly_relaxed = {
+                assumption_to_index[lit]
+                for lit in core_lits
+                if lit in assumption_to_index and assumption_to_index[lit] not in relaxed
+            }
+            if not newly_relaxed and not any(
+                lit in assumption_to_index for lit in core_lits
+            ) and totalizer is None:
+                # Core involves neither soft clauses nor the cardinality bound.
+                return self._unsatisfiable_result()
+            if bound >= len(bindings):
+                return self._unsatisfiable_result()
+            relaxed |= newly_relaxed
+            bound += 1
+            if relaxed:
+                indicators = [-assumption_of[index] for index in sorted(relaxed)]
+                totalizer = TotalizerEncoding(
+                    indicators,
+                    new_var=solver.new_var,
+                    add_clause=solver.add_clause,
+                    both_directions=False,
+                )

@@ -1,0 +1,41 @@
+"""Result record shared by the MaxSAT engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+
+@dataclass
+class MaxSatResult:
+    """Outcome of a partial MaxSAT solve.
+
+    Attributes
+    ----------
+    satisfiable:
+        ``False`` when the *hard* clauses alone are unsatisfiable (no
+        correction set exists); every other field is then meaningless.
+    cost:
+        Total weight of falsified soft clauses in the optimal assignment.
+    model:
+        A ``{var: bool}`` assignment achieving ``cost``.
+    falsified:
+        Indices (into ``wcnf.soft``) of the soft clauses falsified by
+        ``model`` — the CoMSS / minimum correction set.
+    falsified_labels:
+        Labels of those soft clauses (with unlabelled clauses omitted).
+    sat_calls:
+        Number of calls made to the underlying SAT solver.
+    """
+
+    satisfiable: bool
+    cost: int = 0
+    model: Optional[dict[int, bool]] = None
+    falsified: list[int] = field(default_factory=list)
+    falsified_labels: list[Hashable] = field(default_factory=list)
+    sat_calls: int = 0
+
+    @property
+    def comss(self) -> list[int]:
+        """Alias matching the paper's terminology (CoMSS)."""
+        return self.falsified

@@ -1,0 +1,127 @@
+"""Partial weighted CNF container used by every MaxSAT engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class SoftClause:
+    """A soft clause: literals, a positive integer weight and an optional label.
+
+    Labels are opaque to the solvers; BugAssist uses them to map soft clauses
+    back to program statements (selector-variable groups).
+    """
+
+    lits: tuple[int, ...]
+    weight: int = 1
+    label: Optional[Hashable] = None
+
+
+class WCNF:
+    """A partial weighted CNF formula.
+
+    Hard clauses must be satisfied; soft clauses each carry a positive weight
+    and the solvers maximise the total weight of satisfied soft clauses
+    (equivalently, minimise the total weight of falsified ones).
+    """
+
+    def __init__(self) -> None:
+        self.hard: list[list[int]] = []
+        self.soft: list[SoftClause] = []
+        self._num_vars = 0
+
+    # ------------------------------------------------------------- building
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index mentioned so far (or allocated)."""
+        return self._num_vars
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable index not used by any clause yet."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_hard(self, lits: Iterable[int]) -> None:
+        """Add a hard clause."""
+        clause = self._checked(lits)
+        self.hard.append(clause)
+
+    def add_soft(
+        self,
+        lits: Iterable[int],
+        weight: int = 1,
+        label: Optional[Hashable] = None,
+    ) -> int:
+        """Add a soft clause and return its index."""
+        if weight <= 0:
+            raise ValueError("soft clause weight must be a positive integer")
+        clause = self._checked(lits)
+        self.soft.append(SoftClause(tuple(clause), weight, label))
+        return len(self.soft) - 1
+
+    def add_soft_group(
+        self,
+        clauses: Iterable[Iterable[int]],
+        weight: int = 1,
+        label: Optional[Hashable] = None,
+        selector: Optional[int] = None,
+    ) -> int:
+        """Add a *group* of clauses controlled by one selector variable.
+
+        This is the clause-grouping construction of Section 3.4 of the paper:
+        every clause ``c`` of the group becomes the hard clause ``(!s or c)``
+        and the single soft clause ``[s]`` (weight ``weight``) stands for the
+        whole group.  Returns the selector variable.
+        """
+        materialized = [list(clause) for clause in clauses]
+        for clause in materialized:
+            for lit in clause:
+                if lit == 0:
+                    raise ValueError("0 is not a valid literal")
+                self._num_vars = max(self._num_vars, abs(lit))
+        if selector is None:
+            selector = self.new_var()
+        else:
+            self._num_vars = max(self._num_vars, selector)
+        for clause in materialized:
+            self.add_hard(clause + [-selector])
+        self.add_soft([selector], weight=weight, label=label)
+        return selector
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def total_soft_weight(self) -> int:
+        """Sum of all soft clause weights."""
+        return sum(soft.weight for soft in self.soft)
+
+    def is_weighted(self) -> bool:
+        """True when soft clauses carry non-uniform weights."""
+        return len({soft.weight for soft in self.soft}) > 1
+
+    def copy(self) -> "WCNF":
+        """Deep-enough copy (clause lists are copied; literals are ints)."""
+        duplicate = WCNF()
+        duplicate.hard = [list(clause) for clause in self.hard]
+        duplicate.soft = list(self.soft)
+        duplicate._num_vars = self._num_vars
+        return duplicate
+
+    # -------------------------------------------------------------- helpers
+
+    def _checked(self, lits: Iterable[int]) -> list[int]:
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._num_vars = max(self._num_vars, abs(lit))
+        return clause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WCNF(vars={self._num_vars}, hard={len(self.hard)}, "
+            f"soft={len(self.soft)}, weight={self.total_soft_weight})"
+        )

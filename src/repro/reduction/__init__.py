@@ -1,0 +1,29 @@
+"""Error-trace reduction techniques (Table 3 of the paper).
+
+Large programs produce huge trace formulas; the paper reduces them with
+"existing trace reduction techniques like program slicing (S), concolic
+simulation (C) and isolating failure-inducing input using delta debugging
+(D)".  This package provides all three:
+
+* :func:`slice_relevant_lines` — static backward slicing (S); the resulting
+  line set is handed to the concolic tracer, which executes statements
+  outside the slice concretely only.
+* :func:`concretizable_functions` — concolic simulation (C): functions that
+  cannot influence the failure are executed concretely (the tracer's
+  ``concrete_functions``), as the paper does for the recursive tokenizer of
+  print_tokens.
+* :func:`ddmin` / :func:`minimize_failing_input` — delta debugging (D):
+  isolate a minimal failure-inducing portion of the input.
+"""
+
+from repro.reduction.slicing import slice_relevant_lines, sliced_tracer_settings
+from repro.reduction.concretize import concretizable_functions
+from repro.reduction.delta import ddmin, minimize_failing_input
+
+__all__ = [
+    "slice_relevant_lines",
+    "sliced_tracer_settings",
+    "concretizable_functions",
+    "ddmin",
+    "minimize_failing_input",
+]

@@ -1,0 +1,70 @@
+"""Concolic simulation (the "C" trace-reduction technique).
+
+The paper's print_tokens experiment uses "concrete execution for the
+recursive function and variables", shrinking the trace from 65 698 to 239
+assignments — at the cost of assuming the concretized functions are bug
+free.  The helper below picks such functions automatically: every function
+that is *not* on a call path to an assertion, output or slicing-criterion
+variable can be executed concretely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cfg import call_graph, called_functions
+from repro.cfg.defuse import statement_defs, statement_uses
+from repro.lang import ast
+
+
+def concretizable_functions(
+    program: ast.Program,
+    protected: Iterable[str] = (),
+    criterion_variables: Iterable[str] = (),
+) -> set[str]:
+    """Functions that can safely be executed concretely only.
+
+    A function is concretizable when it neither contains an assertion or
+    ``print_int`` nor writes any global variable in ``criterion_variables``
+    (nor calls, transitively, a function that does).  ``protected`` names are
+    never concretized (typically the function under suspicion).
+    """
+    criterion = set(criterion_variables)
+    protected_set = set(protected) | {"main"}
+    directly_unsafe: set[str] = set()
+
+    def visit(statements: tuple[ast.Stmt, ...]) -> bool:
+        unsafe = False
+        for stmt in statements:
+            if isinstance(stmt, (ast.Assert, ast.Print)):
+                unsafe = True
+            if statement_defs(stmt) & criterion or statement_uses(stmt) & criterion:
+                unsafe = True
+            if isinstance(stmt, ast.If):
+                unsafe = visit(stmt.then_body) or unsafe
+                unsafe = visit(stmt.else_body) or unsafe
+            elif isinstance(stmt, ast.While):
+                unsafe = visit(stmt.body) or unsafe
+        return unsafe
+
+    for name, function in program.functions.items():
+        if visit(function.body):
+            directly_unsafe.add(name)
+
+    graph = call_graph(program)
+    result: set[str] = set()
+    for name in program.functions:
+        if name in protected_set:
+            continue
+        reachable = {name} | called_functions(program, name)
+        if reachable & directly_unsafe:
+            continue
+        # Callers of protected functions must stay symbolic too, otherwise
+        # the protected function would disappear from the trace.
+        if reachable & (protected_set - {"main"}):
+            continue
+        result.add(name)
+    # Never concretize a function that (transitively) calls a non-concretized
+    # sibling which is unsafe — already covered by the reachability check.
+    del graph
+    return result

@@ -1,0 +1,21 @@
+"""Conflict-driven clause learning (CDCL) SAT solver substrate.
+
+The paper's tool chain relies on MiniSAT2 and on the SAT engine inside the
+MSUnCORE MaxSAT solver.  Neither is available here, so this package provides
+a self-contained CDCL solver with the features the rest of the reproduction
+needs:
+
+* incremental solving under *assumptions* (used to implement selector
+  variables / clause groups),
+* extraction of an unsatisfiable core over the assumptions (used by the
+  core-guided MaxSAT algorithms),
+* DIMACS CNF and WCNF reading/writing for interoperability and debugging.
+
+The public entry points are :class:`Solver`, :data:`TRUE_LIT` helpers in
+:mod:`repro.sat.literals`, and the DIMACS helpers in :mod:`repro.sat.dimacs`.
+"""
+
+from repro.sat.literals import neg, lit_to_var, var_to_lit
+from repro.sat.solver import Solver, SolveResult
+
+__all__ = ["Solver", "SolveResult", "neg", "lit_to_var", "var_to_lit"]

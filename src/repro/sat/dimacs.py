@@ -1,0 +1,154 @@
+"""Reading and writing DIMACS CNF and (old-style) WCNF files.
+
+These are used for interoperability (dumping trace formulas for inspection
+or for external solvers) and by the test-suite to round-trip formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, TextIO
+
+
+@dataclass
+class CnfFormula:
+    """A plain CNF formula: a clause list plus the declared variable count."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(clause)
+
+
+@dataclass
+class WcnfFormula:
+    """A weighted partial CNF formula in the classic WCNF convention.
+
+    ``hard`` clauses carry weight ``top``; every soft clause carries a
+    positive weight strictly below ``top``.
+    """
+
+    num_vars: int = 0
+    hard: list[list[int]] = field(default_factory=list)
+    soft: list[tuple[int, list[int]]] = field(default_factory=list)
+
+    @property
+    def top(self) -> int:
+        return sum(weight for weight, _ in self.soft) + 1
+
+    def add_hard(self, lits: Iterable[int]) -> None:
+        clause = list(lits)
+        self._bump_vars(clause)
+        self.hard.append(clause)
+
+    def add_soft(self, lits: Iterable[int], weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("soft clause weight must be positive")
+        clause = list(lits)
+        self._bump_vars(clause)
+        self.soft.append((weight, clause))
+
+    def _bump_vars(self, clause: list[int]) -> None:
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(lit))
+
+
+def parse_cnf(text: str) -> CnfFormula:
+    """Parse a DIMACS CNF document from a string."""
+    formula = CnfFormula()
+    declared_vars = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        tokens = [int(token) for token in line.split()]
+        if tokens and tokens[-1] == 0:
+            tokens = tokens[:-1]
+        if tokens:
+            formula.add_clause(tokens)
+    formula.num_vars = max(formula.num_vars, declared_vars)
+    return formula
+
+
+def read_cnf(path: str | Path) -> CnfFormula:
+    """Read a DIMACS CNF file."""
+    return parse_cnf(Path(path).read_text())
+
+
+def write_cnf(formula: CnfFormula, target: str | Path | TextIO) -> None:
+    """Write a DIMACS CNF file."""
+    lines = [f"p cnf {formula.num_vars} {len(formula.clauses)}"]
+    lines.extend(" ".join(str(lit) for lit in clause) + " 0" for clause in formula.clauses)
+    _write_lines(lines, target)
+
+
+def parse_wcnf(text: str) -> WcnfFormula:
+    """Parse a classic (pre-2022) WCNF document from a string."""
+    formula = WcnfFormula()
+    top = None
+    declared_vars = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "wcnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            top = int(parts[4]) if len(parts) > 4 else None
+            continue
+        tokens = line.split()
+        weight = int(tokens[0])
+        lits = [int(token) for token in tokens[1:]]
+        if lits and lits[-1] == 0:
+            lits = lits[:-1]
+        if top is not None and weight >= top:
+            formula.add_hard(lits)
+        else:
+            formula.add_soft(lits, weight)
+    formula.num_vars = max(formula.num_vars, declared_vars)
+    return formula
+
+
+def read_wcnf(path: str | Path) -> WcnfFormula:
+    """Read a classic WCNF file."""
+    return parse_wcnf(Path(path).read_text())
+
+
+def write_wcnf(formula: WcnfFormula, target: str | Path | TextIO) -> None:
+    """Write a classic WCNF file (hard clauses carry the ``top`` weight)."""
+    top = formula.top
+    total = len(formula.hard) + len(formula.soft)
+    lines = [f"p wcnf {formula.num_vars} {total} {top}"]
+    lines.extend(
+        f"{top} " + " ".join(str(lit) for lit in clause) + " 0" for clause in formula.hard
+    )
+    lines.extend(
+        f"{weight} " + " ".join(str(lit) for lit in clause) + " 0"
+        for weight, clause in formula.soft
+    )
+    _write_lines(lines, target)
+
+
+def _write_lines(lines: list[int | str], target: str | Path | TextIO) -> None:
+    text = "\n".join(str(line) for line in lines) + "\n"
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text)
+    else:
+        target.write(text)

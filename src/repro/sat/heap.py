@@ -1,0 +1,103 @@
+"""Indexed max-heap ordered by variable activity (MiniSAT-style order heap).
+
+The solver keeps every unassigned variable in this heap and always decides on
+the variable with the highest VSIDS activity.  The heap supports the three
+operations CDCL needs: insert, pop-max, and "bubble up after an activity
+bump" (:meth:`ActivityHeap.update`).
+"""
+
+from __future__ import annotations
+
+
+class ActivityHeap:
+    """Binary max-heap over variable indices keyed by an activity array.
+
+    The ``activity`` list is owned by the solver and mutated in place; the
+    heap only reads it.  ``positions[var]`` is the index of ``var`` inside
+    ``self._heap`` or ``-1`` when the variable is not currently in the heap.
+    """
+
+    def __init__(self, activity: list[float]) -> None:
+        self._activity = activity
+        self._heap: list[int] = []
+        self._positions: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, var: int) -> bool:
+        return var < len(self._positions) and self._positions[var] >= 0
+
+    def grow_to(self, num_vars: int) -> None:
+        """Make room for variables ``1..num_vars``."""
+        while len(self._positions) <= num_vars:
+            self._positions.append(-1)
+
+    def insert(self, var: int) -> None:
+        """Insert ``var`` if it is not already present."""
+        self.grow_to(var)
+        if self._positions[var] >= 0:
+            return
+        self._heap.append(var)
+        self._positions[var] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def pop_max(self) -> int:
+        """Remove and return the variable with the highest activity."""
+        top = self._heap[0]
+        last = self._heap.pop()
+        self._positions[top] = -1
+        if self._heap:
+            self._heap[0] = last
+            self._positions[last] = 0
+            self._sift_down(0)
+        return top
+
+    def update(self, var: int) -> None:
+        """Restore heap order after ``var``'s activity increased."""
+        pos = self._positions[var] if var < len(self._positions) else -1
+        if pos >= 0:
+            self._sift_up(pos)
+
+    def rebuild(self) -> None:
+        """Re-heapify after a global activity rescale."""
+        heap = self._heap
+        for i in range(len(heap) // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def _sift_up(self, pos: int) -> None:
+        heap, positions, activity = self._heap, self._positions, self._activity
+        var = heap[pos]
+        act = activity[var]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            pvar = heap[parent]
+            if activity[pvar] >= act:
+                break
+            heap[pos] = pvar
+            positions[pvar] = pos
+            pos = parent
+        heap[pos] = var
+        positions[var] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        heap, positions, activity = self._heap, self._positions, self._activity
+        size = len(heap)
+        var = heap[pos]
+        act = activity[var]
+        while True:
+            left = 2 * pos + 1
+            if left >= size:
+                break
+            right = left + 1
+            child = left
+            if right < size and activity[heap[right]] > activity[heap[left]]:
+                child = right
+            cvar = heap[child]
+            if act >= activity[cvar]:
+                break
+            heap[pos] = cvar
+            positions[cvar] = pos
+            pos = child
+        heap[pos] = var
+        positions[var] = pos

@@ -1,0 +1,583 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+The solver follows the classic MiniSAT architecture: two-literal watching,
+first-UIP conflict analysis with clause learning, VSIDS variable activities,
+phase saving, Luby restarts and activity-based deletion of learnt clauses.
+
+Two features beyond plain satisfiability are load-bearing for the rest of
+the reproduction:
+
+* **Assumptions.**  :meth:`Solver.solve` accepts a sequence of literals that
+  are treated as temporary decisions.  The BugAssist encoding attaches one
+  *selector variable* per program statement; solving under assumptions over
+  the selectors is how the MaxSAT layer enables and disables statements.
+* **Assumption cores.**  When the instance is unsatisfiable under the given
+  assumptions, :meth:`Solver.unsat_core` returns a subset of the assumptions
+  that is already contradictory.  The core-guided MaxSAT algorithms
+  (Fu–Malik, MSU3) are built directly on this facility.
+
+Literals use the DIMACS convention (non-zero signed integers) at the API
+boundary and a packed even/odd encoding internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.sat.heap import ActivityHeap
+
+_UNDEF = -1
+_FALSE = 0
+_TRUE = 1
+
+
+class _Clause(list):
+    """A clause: a list of internal literals plus learnt-clause metadata."""
+
+    __slots__ = ("learnt", "activity")
+
+    def __init__(self, lits: Iterable[int], learnt: bool = False) -> None:
+        super().__init__(lits)
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a single :meth:`Solver.solve` call."""
+
+    satisfiable: bool
+    model: Optional[dict[int, bool]] = None
+    core: Optional[list[int]] = None
+
+
+@dataclass
+class SolverStats:
+    """Cumulative solver statistics, exposed for benchmarks and ablations."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learnt_clauses: int = 0
+    deleted_clauses: int = 0
+    solve_calls: int = 0
+    max_vars: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class Solver:
+    """Incremental CDCL SAT solver with assumption support.
+
+    Typical use::
+
+        solver = Solver()
+        x, y = solver.new_var(), solver.new_var()
+        solver.add_clause([x, y])
+        solver.add_clause([-x, y])
+        assert solver.solve()
+        assert solver.model_value(y) is True
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._watches: list[list[_Clause]] = [[], []]
+        self._assigns: list[int] = [_UNDEF]
+        self._level: list[int] = [0]
+        self._reason: list[Optional[_Clause]] = [None]
+        self._polarity: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._seen: list[int] = [0]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._order = ActivityHeap(self._activity)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._ok = True
+        self._model: Optional[list[int]] = None
+        self._core: Optional[list[int]] = None
+        self.stats = SolverStats()
+        self.max_conflicts: Optional[int] = None
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables allocated so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learnt) clauses currently stored."""
+        return len(self._clauses)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        self._assigns.append(_UNDEF)
+        self._level.append(0)
+        self._reason.append(None)
+        self._polarity.append(False)
+        self._activity.append(0.0)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        self._order.insert(self._num_vars)
+        self.stats.max_vars = max(self.stats.max_vars, self._num_vars)
+        return self._num_vars
+
+    def ensure_vars(self, max_var: int) -> None:
+        """Allocate variables up to ``max_var`` (inclusive) if needed."""
+        while self._num_vars < max_var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of signed literals.
+
+        Returns ``False`` when the clause makes the formula trivially
+        unsatisfiable at the top level (and the solver becomes permanently
+        unsatisfiable), ``True`` otherwise.
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("clauses may only be added at decision level 0")
+        seen: set[int] = set()
+        internal: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_vars(abs(lit))
+            ilit = self._to_internal(lit)
+            if ilit ^ 1 in seen:
+                return True  # tautology: trivially satisfied
+            if ilit in seen:
+                continue
+            value = self._lit_value(ilit)
+            if value == _TRUE and self._level[ilit >> 1] == 0:
+                return True  # already satisfied at top level
+            if value == _FALSE and self._level[ilit >> 1] == 0:
+                continue  # falsified at top level: drop the literal
+            seen.add(ilit)
+            internal.append(ilit)
+        if not internal:
+            self._ok = False
+            return False
+        if len(internal) == 1:
+            if not self._enqueue(internal[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        clause = _Clause(internal, learnt=False)
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
+        """Add many clauses; returns ``False`` if any made the formula unsat."""
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Solve under the given assumption literals.
+
+        Returns ``True`` if satisfiable (a model is then available through
+        :meth:`model_value` / :meth:`get_model`), ``False`` otherwise (an
+        assumption core is then available through :meth:`unsat_core`).
+        """
+        self.stats.solve_calls += 1
+        self._model = None
+        self._core = None
+        if not self._ok:
+            self._core = []
+            return False
+        for lit in assumptions:
+            if lit == 0:
+                raise ValueError("0 is not a valid assumption literal")
+            self.ensure_vars(abs(lit))
+        internal_assumptions = [self._to_internal(lit) for lit in assumptions]
+        result = self._search(internal_assumptions)
+        self._cancel_until(0)
+        return result
+
+    def solve_result(self, assumptions: Sequence[int] = ()) -> SolveResult:
+        """Like :meth:`solve` but returning a :class:`SolveResult` record."""
+        sat = self.solve(assumptions)
+        if sat:
+            return SolveResult(True, model=self.get_model())
+        return SolveResult(False, core=self.unsat_core())
+
+    def model_value(self, lit: int) -> Optional[bool]:
+        """Value of a signed literal in the last model (None if unknown var)."""
+        if self._model is None:
+            raise RuntimeError("no model available; last solve was UNSAT or never ran")
+        var = abs(lit)
+        if var > self._num_vars or var >= len(self._model):
+            return None
+        value = self._model[var]
+        if value == _UNDEF:
+            return None
+        truth = value == _TRUE
+        return truth if lit > 0 else not truth
+
+    def get_model(self) -> dict[int, bool]:
+        """Return the last model as a ``{var: bool}`` dictionary."""
+        if self._model is None:
+            raise RuntimeError("no model available; last solve was UNSAT or never ran")
+        return {
+            var: self._model[var] == _TRUE
+            for var in range(1, self._num_vars + 1)
+            if self._model[var] != _UNDEF
+        }
+
+    def unsat_core(self) -> list[int]:
+        """Subset of the assumptions that is unsatisfiable with the clauses."""
+        if self._core is None:
+            raise RuntimeError("no core available; last solve was SAT or never ran")
+        return list(self._core)
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _to_internal(lit: int) -> int:
+        var = lit if lit > 0 else -lit
+        return 2 * var + (0 if lit > 0 else 1)
+
+    @staticmethod
+    def _to_external(ilit: int) -> int:
+        var = ilit >> 1
+        return var if (ilit & 1) == 0 else -var
+
+    def _lit_value(self, ilit: int) -> int:
+        assign = self._assigns[ilit >> 1]
+        if assign == _UNDEF:
+            return _UNDEF
+        return assign ^ (ilit & 1)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    def _enqueue(self, ilit: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(ilit)
+        if value != _UNDEF:
+            return value == _TRUE
+        var = ilit >> 1
+        self._assigns[var] = (ilit & 1) ^ 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = p ^ 1
+            old_watchers = watches[false_lit]
+            watches[false_lit] = []
+            keep = watches[false_lit]
+            num = len(old_watchers)
+            index = 0
+            while index < num:
+                clause = old_watchers[index]
+                index += 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == _TRUE:
+                    keep.append(clause)
+                    continue
+                found_watch = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != _FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1]].append(clause)
+                        found_watch = True
+                        break
+                if found_watch:
+                    continue
+                keep.append(clause)
+                if self._lit_value(first) == _FALSE:
+                    keep.extend(old_watchers[index:])
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+        return None
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for index in range(len(self._trail) - 1, bound - 1, -1):
+            ilit = self._trail[index]
+            var = ilit >> 1
+            self._assigns[var] = _UNDEF
+            self._polarity[var] = (ilit & 1) == 0
+            self._reason[var] = None
+            self._order.insert(var)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _var_bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+            self._order.rebuild()
+        self._order.update(var)
+
+    def _var_decay_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _clause_bump(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns (learnt clause, backjump level)."""
+        learnt: list[int] = [0]
+        seen = self._seen
+        counter = 0
+        p = -1
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+        clause: Optional[_Clause] = conflict
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._clause_bump(clause)
+            for q in clause:
+                if p != -1 and (q >> 1) == (p >> 1):
+                    continue
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._var_bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            p = self._trail[index]
+            var = p >> 1
+            clause = self._reason[var]
+            seen[var] = 0
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+        learnt[0] = p ^ 1
+
+        # Local (non-recursive) clause minimization: drop literals whose
+        # reason clause is entirely covered by other literals in the learnt
+        # clause.
+        marked = {q >> 1 for q in learnt}
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self._reason[q >> 1]
+            if reason is None:
+                minimized.append(q)
+                continue
+            redundant = True
+            for r in reason:
+                var = r >> 1
+                if var == (q >> 1):
+                    continue
+                if var not in marked and self._level[var] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(q)
+        for q in learnt:
+            seen[q >> 1] = 0
+        learnt = minimized
+
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            max_index = 1
+            max_level = self._level[learnt[1] >> 1]
+            for position in range(2, len(learnt)):
+                lvl = self._level[learnt[position] >> 1]
+                if lvl > max_level:
+                    max_level = lvl
+                    max_index = position
+            learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+            backjump = max_level
+        return learnt, backjump
+
+    def _analyze_final(self, failed: int) -> list[int]:
+        """Compute an assumption core given a falsified assumption literal."""
+        core_internal = {failed}
+        if self._decision_level() == 0:
+            return [self._to_external(lit) for lit in core_internal]
+        seen = self._seen
+        seen[failed >> 1] = 1
+        bound = self._trail_lim[0]
+        for index in range(len(self._trail) - 1, bound - 1, -1):
+            ilit = self._trail[index]
+            var = ilit >> 1
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core_internal.add(ilit)
+            else:
+                for q in reason:
+                    qvar = q >> 1
+                    if qvar != var and self._level[qvar] > 0:
+                        seen[qvar] = 1
+            seen[var] = 0
+        seen[failed >> 1] = 0
+        return [self._to_external(lit) for lit in core_internal]
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        while len(self._order):
+            var = self._order.pop_max()
+            if self._assigns[var] == _UNDEF:
+                self.stats.decisions += 1
+                return 2 * var + (0 if self._polarity[var] else 1)
+        return None
+
+    def _reduce_db(self) -> None:
+        learnts = self._learnts
+        learnts.sort(key=lambda c: c.activity)
+        threshold = self._cla_inc / max(len(learnts), 1)
+        keep: list[_Clause] = []
+        removed = 0
+        half = len(learnts) // 2
+        for index, clause in enumerate(learnts):
+            locked = (
+                self._reason[clause[0] >> 1] is clause
+                and self._lit_value(clause[0]) == _TRUE
+            )
+            if locked or len(clause) <= 2:
+                keep.append(clause)
+            elif index < half or clause.activity < threshold:
+                self._detach(clause)
+                removed += 1
+            else:
+                keep.append(clause)
+        self._learnts = keep
+        self.stats.deleted_clauses += removed
+
+    def _detach(self, clause: _Clause) -> None:
+        for watched in (clause[0], clause[1]):
+            watchers = self._watches[watched]
+            try:
+                watchers.remove(clause)
+            except ValueError:
+                pass
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ... (0-based index)."""
+        # Find the finite subsequence containing `index` and its size.
+        size, sequence = 1, 0
+        while size < index + 1:
+            sequence += 1
+            size = 2 * size + 1
+        while size - 1 != index:
+            size = (size - 1) // 2
+            sequence -= 1
+            index %= size
+        return 1 << sequence
+
+    def _search(self, assumptions: list[int]) -> bool:
+        restart_index = 0
+        conflict_budget = 100 * self._luby(restart_index)
+        conflicts_since_restart = 0
+        max_learnts = max(len(self._clauses) // 3, 2000)
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                total_conflicts += 1
+                if self.max_conflicts is not None and total_conflicts > self.max_conflicts:
+                    self._core = []
+                    self._cancel_until(0)
+                    raise ConflictBudgetExceeded(
+                        f"exceeded conflict budget of {self.max_conflicts}"
+                    )
+                if self._decision_level() == 0:
+                    self._ok = False
+                    self._core = []
+                    return False
+                learnt, backjump_level = self._analyze(conflict)
+                self._cancel_until(max(backjump_level, 0))
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._attach(clause)
+                    self._learnts.append(clause)
+                    self._clause_bump(clause)
+                    self.stats.learnt_clauses += 1
+                    self._enqueue(learnt[0], clause)
+                self._var_decay_activity()
+                self._cla_inc /= self._cla_decay
+                continue
+
+            if conflicts_since_restart >= conflict_budget:
+                self.stats.restarts += 1
+                restart_index += 1
+                conflict_budget = 100 * self._luby(restart_index)
+                conflicts_since_restart = 0
+                self._cancel_until(0)
+                continue
+
+            if len(self._learnts) >= max_learnts + len(self._trail):
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+
+            next_lit: Optional[int] = None
+            while self._decision_level() < len(assumptions):
+                assumption = assumptions[self._decision_level()]
+                value = self._lit_value(assumption)
+                if value == _TRUE:
+                    self._new_decision_level()
+                elif value == _FALSE:
+                    self._core = self._analyze_final(assumption)
+                    return False
+                else:
+                    next_lit = assumption
+                    break
+            if next_lit is None:
+                next_lit = self._pick_branch_literal()
+                if next_lit is None:
+                    self._model = list(self._assigns)
+                    return True
+            self._new_decision_level()
+            self._enqueue(next_lit, None)
+
+
+class ConflictBudgetExceeded(RuntimeError):
+    """Raised when ``Solver.max_conflicts`` is exhausted during search."""

@@ -1,0 +1,46 @@
+"""Siemens-style benchmark programs (Section 6 of the paper).
+
+The Siemens test suite is the standard fault-localization benchmark the
+paper evaluates on.  The original programs are ANSI-C; this package contains
+faithful mini-C re-implementations of the ones the paper uses, together with
+a fault-injection catalogue reproducing the *error types* of Table 2:
+
+* :mod:`repro.siemens.tcas` — the aircraft collision avoidance logic
+  (Section 6.1 / Table 1 / Figure 2), 41 faulty versions.
+* :mod:`repro.siemens.testgen` — deterministic test-vector generation and
+  golden outputs from the reference implementation.
+* :mod:`repro.siemens.programs` — tot_info, print_tokens, schedule and
+  schedule2 models with one injected fault each (Section 6.2 / Table 3).
+* :mod:`repro.siemens.strncat_example` — the strncat off-by-one program of
+  Section 6.3 (Program 2).
+* :mod:`repro.siemens.suite` — the harness that classifies tests, runs
+  BugAssist on every failing test and aggregates the Table 1 metrics.
+"""
+
+from repro.siemens.faults import ErrorType, FaultVersion, TCAS_FAULTS
+from repro.siemens.tcas import (
+    TCAS_SOURCE,
+    tcas_program,
+    tcas_faulty_program,
+    tcas_fault,
+    tcas_versions,
+)
+from repro.siemens.testgen import TcasTestVector, generate_tcas_tests, golden_outputs
+from repro.siemens.suite import TcasVersionResult, run_tcas_version, classify_tcas_tests
+
+__all__ = [
+    "ErrorType",
+    "FaultVersion",
+    "TCAS_FAULTS",
+    "TCAS_SOURCE",
+    "tcas_program",
+    "tcas_faulty_program",
+    "tcas_fault",
+    "tcas_versions",
+    "TcasTestVector",
+    "generate_tcas_tests",
+    "golden_outputs",
+    "TcasVersionResult",
+    "run_tcas_version",
+    "classify_tcas_tests",
+]

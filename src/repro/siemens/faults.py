@@ -1,0 +1,203 @@
+"""Fault catalogue for the TCAS benchmark (the 41 faulty versions).
+
+The Siemens authors "created 41 versions of the program by injecting one or
+more faults ... as realistic as possible" (paper Section 6.1).  The exact
+mutations of the original suite are not part of the paper; this catalogue
+re-creates one faulty version per Table 1 row with the *same error type*
+(Table 2) and the same number of injected errors, so the localization
+problem BugAssist is evaluated on has the same character.  Version names
+follow the paper (versions v33 and v38 do not appear in Table 1 and are
+omitted here as well).
+
+Each fault is a set of single-line patches against the canonical TCAS source
+in :mod:`repro.siemens.tcas`; the patched line numbers are the ground-truth
+fault locations used for the Detect# metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ErrorType(str, Enum):
+    """The error taxonomy of Table 2."""
+
+    OPERATOR = "op"          # wrong operator usage, e.g. <= instead of <
+    CODE = "code"            # logical coding bug
+    ASSIGN = "assign"        # wrong assignment expression
+    ADDCODE = "addcode"      # error due to extra code fragments
+    CONST = "const"          # wrong constant value supplied (off-by-one etc.)
+    INIT = "init"            # wrong value initialization of a variable
+    INDEX = "index"          # use of wrong array index
+    BRANCH = "branch"        # negated branching condition
+
+    def explanation(self) -> str:
+        """Human-readable explanation (the right-hand column of Table 2)."""
+        return {
+            ErrorType.OPERATOR: "Wrong operator usage, e.g. <= instead of <",
+            ErrorType.CODE: "Logical coding bug",
+            ErrorType.ASSIGN: "Wrong assignment expression",
+            ErrorType.ADDCODE: "Error due to extra code fragments",
+            ErrorType.CONST: "Wrong constant value supplied, e.g. off-by-one error",
+            ErrorType.INIT: "Wrong value initialization of a variable",
+            ErrorType.INDEX: "Use of wrong array index",
+            ErrorType.BRANCH: "Error in branching due to negation of the condition",
+        }[self]
+
+
+@dataclass(frozen=True)
+class FaultVersion:
+    """One faulty program version: name, error type, and line patches."""
+
+    name: str
+    error_type: ErrorType
+    patches: tuple[tuple[int, str], ...]
+    description: str = ""
+
+    @property
+    def errors(self) -> int:
+        """Number of injected errors (the Error# column of Table 1)."""
+        return len(self.patches)
+
+    @property
+    def fault_lines(self) -> tuple[int, ...]:
+        """Ground-truth fault locations (patched source lines)."""
+        return tuple(line for line, _ in self.patches)
+
+
+def _fault(name, error_type, patches, description=""):
+    return FaultVersion(
+        name=name,
+        error_type=error_type,
+        patches=tuple(patches),
+        description=description,
+    )
+
+
+TCAS_FAULTS: tuple[FaultVersion, ...] = (
+    _fault("v1", ErrorType.OPERATOR, [
+        (41, "        result = !(Own_Below_Threat()) || (!(Down_Separation > ALIM()));"),
+    ], ">= replaced by > in the non-crossing climb separation check"),
+    _fault("v2", ErrorType.CONST, [
+        (28, "    return (Climb_Inhibit ? Up_Separation + 300 : Up_Separation);"),
+    ], "inhibit-biased climb adds 300 instead of NOZCROSS (Figure 2)"),
+    _fault("v3", ErrorType.OPERATOR, [
+        (39, "    upward_preferred = Inhibit_Biased_Climb() < Down_Separation;"),
+    ], "> replaced by < in the upward-preferred decision of climb"),
+    _fault("v4", ErrorType.OPERATOR, [
+        (65, "    enabled = High_Confidence && (Own_Tracked_Alt_Rate <= OLEV) && (Cur_Vertical_Sep >= MAXALTDIFF);"),
+    ], "> replaced by >= in the enabling condition"),
+    _fault("v5", ErrorType.ASSIGN, [
+        (39, "    upward_preferred = Inhibit_Biased_Climb() > Up_Separation;"),
+    ], "wrong operand in the upward-preferred assignment"),
+    _fault("v6", ErrorType.OPERATOR, [
+        (54, "        result = !(Own_Above_Threat()) || (Up_Separation > ALIM());"),
+    ], ">= replaced by > in the non-crossing descend separation check"),
+    _fault("v7", ErrorType.CONST, [
+        (22, "    Positive_RA_Alt_Thresh[3] = 700;"),
+    ], "wrong threshold constant for altitude layer 3"),
+    _fault("v8", ErrorType.CONST, [
+        (19, "    Positive_RA_Alt_Thresh[0] = 440;"),
+    ], "wrong threshold constant for altitude layer 0"),
+    _fault("v9", ErrorType.OPERATOR, [
+        (54, "        result = !(Own_Above_Threat()) && (Up_Separation >= ALIM());"),
+    ], "|| replaced by && in the descend else-branch"),
+    _fault("v10", ErrorType.OPERATOR, [
+        (41, "        result = !(Own_Below_Threat()) || (!(Down_Separation > ALIM()));"),
+        (52, "        result = Own_Below_Threat() && (Cur_Vertical_Sep > MINSEP) && (Down_Separation >= ALIM());"),
+    ], "two comparison operators weakened"),
+    _fault("v11", ErrorType.OPERATOR, [
+        (39, "    upward_preferred = Inhibit_Biased_Climb() < Down_Separation;"),
+        (50, "    upward_preferred = Inhibit_Biased_Climb() < Down_Separation;"),
+    ], "upward-preferred decision inverted in both predicates"),
+    _fault("v12", ErrorType.OPERATOR, [
+        (70, "        need_upward_RA = Non_Crossing_Biased_Climb() || Own_Below_Threat();"),
+    ], "&& replaced by || when combining the climb advisory"),
+    _fault("v13", ErrorType.CONST, [
+        (66, "    tcas_equipped = Other_Capability == 2;"),
+    ], "wrong constant in the TCAS-equipped test"),
+    _fault("v14", ErrorType.CONST, [
+        (67, "    intent_not_known = Two_of_Three_Reports_Valid && (Other_RAC == 1);"),
+    ], "wrong constant in the intent-not-known test"),
+    _fault("v15", ErrorType.CONST, [
+        (19, "    Positive_RA_Alt_Thresh[0] = 401;"),
+        (20, "    Positive_RA_Alt_Thresh[1] = 501;"),
+        (21, "    Positive_RA_Alt_Thresh[2] = 639;"),
+    ], "three threshold constants off by one"),
+    _fault("v16", ErrorType.INIT, [
+        (1, "int OLEV = 700;"),
+    ], "wrong initial value of OLEV"),
+    _fault("v17", ErrorType.INIT, [
+        (2, "int MAXALTDIFF = 500;"),
+    ], "wrong initial value of MAXALTDIFF"),
+    _fault("v18", ErrorType.INIT, [
+        (2, "int MAXALTDIFF = 601;"),
+    ], "wrong initial value of MAXALTDIFF (boundary shifted by one)"),
+    _fault("v19", ErrorType.INIT, [
+        (4, "int NOZCROSS = 50;"),
+    ], "wrong initial value of NOZCROSS"),
+    _fault("v20", ErrorType.OPERATOR, [
+        (31, "    return Own_Tracked_Alt <= Other_Tracked_Alt;"),
+    ], "< replaced by <= in Own_Below_Threat"),
+    _fault("v21", ErrorType.OPERATOR, [
+        (34, "    return Other_Tracked_Alt <= Own_Tracked_Alt;"),
+    ], "< replaced by <= in Own_Above_Threat"),
+    _fault("v22", ErrorType.CODE, [
+        (41, "        result = (Own_Below_Threat()) || (!(Down_Separation >= ALIM()));"),
+    ], "missing negation of Own_Below_Threat in the climb predicate"),
+    _fault("v23", ErrorType.CODE, [
+        (52, "        result = (Cur_Vertical_Sep >= MINSEP) && (Down_Separation >= ALIM());"),
+    ], "dropped Own_Below_Threat conjunct in the descend predicate"),
+    _fault("v24", ErrorType.OPERATOR, [
+        (67, "    intent_not_known = Two_of_Three_Reports_Valid && (Other_RAC != 0);"),
+    ], "== replaced by != in the intent-not-known test"),
+    _fault("v25", ErrorType.CODE, [
+        (54, "        result = !(Own_Above_Threat());"),
+    ], "dropped separation disjunct in the descend else-branch"),
+    _fault("v26", ErrorType.ADDCODE, [
+        (89, "    Cur_Vertical_Sep = Cur_Vertical_Sep_in; Cur_Vertical_Sep = Cur_Vertical_Sep + 100;"),
+    ], "extra statement inflating the current vertical separation"),
+    _fault("v27", ErrorType.ADDCODE, [
+        (96, "    Up_Separation = Up_Separation_in; Up_Separation = Up_Separation + 50;"),
+    ], "extra statement inflating the upward separation"),
+    _fault("v28", ErrorType.BRANCH, [
+        (69, "    if (!(enabled && ((tcas_equipped && intent_not_known) || !tcas_equipped))) {"),
+    ], "negated enabling branch condition"),
+    _fault("v29", ErrorType.CODE, [
+        (43, "        result = (Cur_Vertical_Sep >= MINSEP) && (Up_Separation >= ALIM());"),
+    ], "dropped Own_Above_Threat conjunct in the climb else-branch"),
+    _fault("v30", ErrorType.CODE, [
+        (71, "        need_downward_RA = Non_Crossing_Biased_Descend();"),
+    ], "dropped Own_Above_Threat conjunct for the downward advisory"),
+    _fault("v31", ErrorType.ADDCODE, [
+        (19, "    Positive_RA_Alt_Thresh[0] = 400; Positive_RA_Alt_Thresh[0] = 358;"),
+        (20, "    Positive_RA_Alt_Thresh[1] = 500; Positive_RA_Alt_Thresh[1] = 460;"),
+    ], "extra overwrites of two altitude thresholds"),
+    _fault("v32", ErrorType.ADDCODE, [
+        (21, "    Positive_RA_Alt_Thresh[2] = 640; Positive_RA_Alt_Thresh[2] = 600;"),
+        (22, "    Positive_RA_Alt_Thresh[3] = 740; Positive_RA_Alt_Thresh[3] = 700;"),
+    ], "extra overwrites of the upper two altitude thresholds"),
+    _fault("v34", ErrorType.OPERATOR, [
+        (66, "    tcas_equipped = Other_Capability != 1;"),
+    ], "== replaced by != in the TCAS-equipped test"),
+    _fault("v35", ErrorType.CODE, [
+        (70, "        need_upward_RA = Non_Crossing_Biased_Climb();"),
+    ], "dropped Own_Below_Threat conjunct for the upward advisory"),
+    _fault("v36", ErrorType.OPERATOR, [
+        (65, "    enabled = High_Confidence && (Own_Tracked_Alt_Rate < OLEV) && (Cur_Vertical_Sep > MAXALTDIFF);"),
+    ], "<= replaced by < in the enabling condition"),
+    _fault("v37", ErrorType.INDEX, [
+        (25, "    return Positive_RA_Alt_Thresh[Alt_Layer_Value + 1];"),
+    ], "ALIM reads the wrong altitude-threshold entry"),
+    _fault("v39", ErrorType.OPERATOR, [
+        (43, "        result = Own_Above_Threat() || (Cur_Vertical_Sep >= MINSEP) && (Up_Separation >= ALIM());"),
+    ], "&& replaced by || in the climb else-branch"),
+    _fault("v40", ErrorType.ASSIGN, [
+        (70, "        need_upward_RA = Non_Crossing_Biased_Climb() && Own_Above_Threat();"),
+        (71, "        need_downward_RA = Non_Crossing_Biased_Descend() && Own_Below_Threat();"),
+    ], "threat-direction predicates swapped in both advisory assignments"),
+    _fault("v41", ErrorType.ASSIGN, [
+        (68, "    alt_sep = 1;"),
+    ], "wrong default advisory assigned before the decision"),
+)

@@ -1,0 +1,93 @@
+"""Program 2 of the paper: the strncat off-by-one error (Section 6.3).
+
+``MyFunCopy`` concatenates a source string into a fixed-size buffer using a
+standard C implementation of ``strncat``.  The common misconception is that
+passing ``SIZE`` as the length bound keeps the write within bounds; in
+reality strncat writes a terminating null one byte beyond the bound, so the
+correct call passes ``SIZE - 1``.  Strings are modelled as bounded integer
+arrays with a 0 terminator and explicit indices (mini-C has no pointers);
+the write-within-bounds property is the explicit assertion on line 21, which
+mirrors the array-bounds check the paper switches on.
+
+The C library implementation of strncat (``strncat_model``) is assumed
+correct: its lines are passed to the localizer as *hard* functions, exactly
+as the paper "make[s] constraints arising out of library functions hard
+clauses".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang import ast, check_program, parse_program
+
+#: The buffer size used by the example (the paper's SIZE is 15; a smaller
+#: buffer keeps the trace formula small without changing the bug).
+SIZE = 6
+
+STRNCAT_LINES = (
+    f"int SIZE = {SIZE};",                                                  # 1
+    f"int buf[{SIZE + 2}];",                                                # 2
+    f"int src[{SIZE + 2}];",                                                # 3
+    "int writes_past = 0;",                                                 # 4
+    "void fill_src(int seed) {",                                            # 5
+    "    int i = 0;",                                                       # 6
+    "    while (i < SIZE + 1) {",                                           # 7
+    "        src[i] = (seed + i) % 25 + 65;",                               # 8
+    "        i = i + 1;",                                                   # 9
+    "    }",                                                                # 10
+    "    src[SIZE + 1] = 0;",                                               # 11
+    "}",                                                                    # 12
+    "void strncat_model(int dest_len, int n) {",                            # 13
+    "    int d = dest_len;",                                                # 14
+    "    int s = 0;",                                                       # 15
+    "    while (n > 0 && src[s] != 0) {",                                   # 16
+    "        buf[d] = src[s];",                                             # 17
+    "        d = d + 1;",                                                   # 18
+    "        s = s + 1;",                                                   # 19
+    "        n = n - 1;",                                                   # 20
+    "    }",                                                                # 21
+    "    assert(d < SIZE + 2);",                                            # 22
+    "    buf[d] = 0;",                                                      # 23
+    "    writes_past = d;",                                                 # 24
+    "}",                                                                    # 25
+    "void MyFunCopy(int seed) {",                                           # 26
+    "    int i = 0;",                                                       # 27
+    "    while (i < SIZE) {",                                               # 28
+    "        buf[i] = 0;",                                                  # 29
+    "        i = i + 1;",                                                   # 30
+    "    }",                                                                # 31
+    "    fill_src(seed);",                                                  # 32
+    "    strncat_model(0, SIZE);",                                          # 33  (fault: should pass SIZE - 1)
+    "    assert(writes_past < SIZE);",                                      # 34
+    "}",                                                                    # 35
+    "int main(int seed) {",                                                 # 36
+    "    assume(seed >= 0);",                                               # 37
+    "    MyFunCopy(seed);",                                                 # 38
+    "    return buf[0];",                                                   # 39
+    "}",                                                                    # 40
+)
+
+#: Line of the faulty call (the paper's line 6) and the library lines that
+#: are kept hard during localization.
+FAULT_LINE = 33
+LIBRARY_FUNCTIONS = ("strncat_model", "fill_src")
+
+STRNCAT_SOURCE = "\n".join(STRNCAT_LINES) + "\n"
+
+
+@lru_cache(maxsize=None)
+def strncat_program() -> ast.Program:
+    """The buggy strncat example program."""
+    program = parse_program(STRNCAT_SOURCE, name="strncat-off-by-one")
+    check_program(program)
+    return program
+
+
+def fixed_strncat_program() -> ast.Program:
+    """The repaired program (SIZE - 1 passed to strncat)."""
+    lines = list(STRNCAT_LINES)
+    lines[FAULT_LINE - 1] = "    strncat_model(0, SIZE - 1);"
+    program = parse_program("\n".join(lines) + "\n", name="strncat-fixed")
+    check_program(program)
+    return program

@@ -1,0 +1,200 @@
+"""The Table 1 harness: run BugAssist on every faulty TCAS version.
+
+For one faulty version the harness
+
+1. runs the test pool through the faulty program and keeps the tests whose
+   output differs from the golden output (the failing test cases, TC#),
+2. runs the BugAssist localizer on (a sample of) the failing tests with the
+   golden output as the specification,
+3. aggregates the Table 1 metrics: Detect# (runs that reported the true
+   fault line), SizeReduc% (reported lines over program lines) and the mean
+   run time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import BugAssistLocalizer, Specification
+from repro.lang import Interpreter
+from repro.siemens.faults import FaultVersion
+from repro.siemens.tcas import tcas_fault, tcas_faulty_program, tcas_program
+from repro.siemens.testgen import TcasTestVector, generate_tcas_tests, golden_outputs
+
+
+@dataclass
+class TcasVersionResult:
+    """One row of Table 1."""
+
+    version: str
+    error_type: str
+    errors: int
+    failing_tests: int
+    runs: int = 0
+    detected: int = 0
+    reported_lines: set[int] = field(default_factory=set)
+    total_time: float = 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.runs if self.runs else 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.runs if self.runs else 0.0
+
+    def size_reduction_percent(self, total_lines: int) -> float:
+        if total_lines <= 0:
+            return 0.0
+        return 100.0 * len(self.reported_lines) / total_lines
+
+
+#: Lines of the TCAS ``main`` harness that copy the test inputs into the
+#: global state.  The paper's tool sets the globals directly from the test
+#: vector, so these copies are not candidate bug locations; they are kept
+#: hard during localization.
+TCAS_HARNESS_LINES = tuple(range(89, 102))
+
+
+def classify_tcas_tests(
+    version: str, count: int = 1600, seed: int = 2011
+) -> tuple[list[tuple[TcasTestVector, int]], list[tuple[TcasTestVector, int]]]:
+    """Split the test pool into failing and passing tests for one version.
+
+    Returns (failing, passing) lists of (vector, golden output) pairs.
+    """
+    program = tcas_faulty_program(version)
+    interpreter = Interpreter(program)
+    vectors = generate_tcas_tests(count, seed)
+    golden = golden_outputs(count, seed)
+    failing: list[tuple[TcasTestVector, int]] = []
+    passing: list[tuple[TcasTestVector, int]] = []
+    for vector, expected in zip(vectors, golden):
+        actual = interpreter.run(vector.as_list()).return_value
+        if actual == expected:
+            passing.append((vector, expected))
+        else:
+            failing.append((vector, expected))
+    return failing, passing
+
+
+def run_tcas_version(
+    version: str,
+    test_count: int = 1600,
+    seed: int = 2011,
+    max_localized_tests: Optional[int] = 3,
+    strategy: str = "hitting-set",
+) -> TcasVersionResult:
+    """Run the full Table 1 protocol on one faulty version.
+
+    ``max_localized_tests`` bounds how many failing tests are localized (the
+    paper localizes every failing test; a pure-Python SAT stack makes a
+    sample the practical default — pass ``None`` for the full protocol).
+    """
+    fault: FaultVersion = tcas_fault(version)
+    failing, _ = classify_tcas_tests(version, count=test_count, seed=seed)
+    result = TcasVersionResult(
+        version=version,
+        error_type=fault.error_type.value,
+        errors=fault.errors,
+        failing_tests=len(failing),
+    )
+    program = tcas_faulty_program(version)
+    localizer = BugAssistLocalizer(
+        program, strategy=strategy, mode="program", hard_lines=TCAS_HARNESS_LINES
+    )
+    fault_lines = set(fault.fault_lines)
+    selected = failing if max_localized_tests is None else failing[:max_localized_tests]
+    for vector, expected in selected:
+        started = time.perf_counter()
+        report = localizer.localize_test(
+            vector.as_list(), Specification.return_value(expected)
+        )
+        elapsed = time.perf_counter() - started
+        result.runs += 1
+        result.total_time += elapsed
+        result.reported_lines.update(report.lines)
+        if any(line in fault_lines for line in report.lines):
+            result.detected += 1
+    return result
+
+
+def tcas_total_lines() -> int:
+    """Total number of (non-blank) lines of the TCAS program."""
+    return tcas_program().lines_of_code()
+
+
+@dataclass
+class LargeBenchmarkResult:
+    """One row of Table 3: trace sizes before/after reduction and localization."""
+
+    name: str
+    reduction: str
+    loc: int
+    procedures: int
+    assignments_before: int = 0
+    assignments_after: int = 0
+    variables_before: int = 0
+    variables_after: int = 0
+    clauses_before: int = 0
+    clauses_after: int = 0
+    fault_candidates: int = 0
+    detected: bool = False
+    time_seconds: float = 0.0
+
+
+def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkResult:
+    """Run the Table 3 protocol on one of the larger benchmarks.
+
+    The failing test's trace formula is built twice — without and with the
+    benchmark's designated trace-reduction techniques — and BugAssist then
+    localizes on the reduced formula.
+    """
+    from repro.concolic import ConcolicTracer
+    from repro.core.localizer import BugAssistLocalizer
+    from repro.reduction import minimize_failing_input, sliced_tracer_settings
+
+    faulty = benchmark.faulty_program()
+    result = LargeBenchmarkResult(
+        name=benchmark.name,
+        reduction=benchmark.reduction,
+        loc=faulty.lines_of_code(),
+        procedures=len(faulty.functions),
+    )
+    started = time.perf_counter()
+    test = list(benchmark.failing_test)
+    spec = benchmark.specification()
+
+    # Delta debugging (D): minimize the failure-inducing input first.
+    if "D" in benchmark.reduction:
+        test = minimize_failing_input(test, benchmark.fails)
+        spec = benchmark.specification(tuple(test))
+
+    full = ConcolicTracer(faulty).trace(test, spec)
+    result.assignments_before = full.num_assignments
+    result.variables_before = full.num_vars
+    result.clauses_before = full.num_clauses
+
+    settings: dict[str, object] = {}
+    if "S" in benchmark.reduction:
+        settings = sliced_tracer_settings(faulty)
+    concrete = set(settings.get("concrete_functions", ()))
+    if "C" in benchmark.reduction:
+        concrete |= set(benchmark.concretize)
+    reduced = ConcolicTracer(
+        faulty,
+        relevant_lines=settings.get("relevant_lines"),
+        concrete_functions=concrete,
+    ).trace(test, spec)
+    result.assignments_after = reduced.num_assignments
+    result.variables_after = reduced.num_vars
+    result.clauses_after = reduced.num_clauses
+
+    localizer = BugAssistLocalizer(faulty, mode="trace", max_candidates=max_candidates)
+    report = localizer.localize_trace(reduced, program_name=benchmark.name)
+    result.fault_candidates = len(report.lines)
+    result.detected = any(line in benchmark.fault_lines for line in report.lines)
+    result.time_seconds = time.perf_counter() - started
+    return result

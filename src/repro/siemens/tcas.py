@@ -1,0 +1,188 @@
+"""The TCAS resolution-advisory logic in mini-C.
+
+TCAS (Traffic alert and Collision Avoidance System) decides whether an
+aircraft should receive an upward or downward resolution advisory.  The
+Siemens version is 173 lines of C; this re-implementation keeps the decision
+logic intact (thresholds, inhibit-biased climb, the non-crossing climb and
+descend predicates, and the final advisory selection) so that the fault
+localization problem — which line explains a wrong advisory — is preserved.
+
+The program takes the twelve TCAS inputs as parameters of ``main`` and
+returns the advisory (0 = UNRESOLVED, 1 = UPWARD_RA, 2 = DOWNWARD_RA).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang import ast, check_program, parse_program
+
+#: Names of the twelve TCAS input parameters, in `main` parameter order.
+TCAS_INPUT_NAMES = (
+    "Cur_Vertical_Sep",
+    "High_Confidence",
+    "Two_of_Three_Reports_Valid",
+    "Own_Tracked_Alt",
+    "Own_Tracked_Alt_Rate",
+    "Other_Tracked_Alt",
+    "Alt_Layer_Value",
+    "Up_Separation",
+    "Down_Separation",
+    "Other_RAC",
+    "Other_Capability",
+    "Climb_Inhibit",
+)
+
+#: Advisory values returned by ``main``.
+UNRESOLVED = 0
+UPWARD_RA = 1
+DOWNWARD_RA = 2
+
+# The canonical (correct) TCAS source.  Every executable statement sits on
+# its own line; the fault catalogue in :mod:`repro.siemens.faults` patches
+# individual lines of this text.
+TCAS_LINES = [
+    "int OLEV = 600;",                                                              # 1
+    "int MAXALTDIFF = 600;",                                                        # 2
+    "int MINSEP = 300;",                                                            # 3
+    "int NOZCROSS = 100;",                                                          # 4
+    "int Cur_Vertical_Sep;",                                                        # 5
+    "int High_Confidence;",                                                         # 6
+    "int Two_of_Three_Reports_Valid;",                                              # 7
+    "int Own_Tracked_Alt;",                                                         # 8
+    "int Own_Tracked_Alt_Rate;",                                                    # 9
+    "int Other_Tracked_Alt;",                                                       # 10
+    "int Alt_Layer_Value;",                                                         # 11
+    "int Up_Separation;",                                                           # 12
+    "int Down_Separation;",                                                         # 13
+    "int Other_RAC;",                                                               # 14
+    "int Other_Capability;",                                                        # 15
+    "int Climb_Inhibit;",                                                           # 16
+    "int Positive_RA_Alt_Thresh[4];",                                               # 17
+    "void initialize() {",                                                          # 18
+    "    Positive_RA_Alt_Thresh[0] = 400;",                                         # 19
+    "    Positive_RA_Alt_Thresh[1] = 500;",                                         # 20
+    "    Positive_RA_Alt_Thresh[2] = 640;",                                         # 21
+    "    Positive_RA_Alt_Thresh[3] = 740;",                                         # 22
+    "}",                                                                            # 23
+    "int ALIM() {",                                                                 # 24
+    "    return Positive_RA_Alt_Thresh[Alt_Layer_Value];",                          # 25
+    "}",                                                                            # 26
+    "int Inhibit_Biased_Climb() {",                                                 # 27
+    "    return (Climb_Inhibit ? Up_Separation + NOZCROSS : Up_Separation);",       # 28
+    "}",                                                                            # 29
+    "int Own_Below_Threat() {",                                                     # 30
+    "    return Own_Tracked_Alt < Other_Tracked_Alt;",                              # 31
+    "}",                                                                            # 32
+    "int Own_Above_Threat() {",                                                     # 33
+    "    return Other_Tracked_Alt < Own_Tracked_Alt;",                              # 34
+    "}",                                                                            # 35
+    "int Non_Crossing_Biased_Climb() {",                                            # 36
+    "    int upward_preferred;",                                                    # 37
+    "    int result;",                                                              # 38
+    "    upward_preferred = Inhibit_Biased_Climb() > Down_Separation;",             # 39
+    "    if (upward_preferred) {",                                                  # 40
+    "        result = !(Own_Below_Threat()) || (!(Down_Separation >= ALIM()));",    # 41
+    "    } else {",                                                                 # 42
+    "        result = Own_Above_Threat() && (Cur_Vertical_Sep >= MINSEP) && (Up_Separation >= ALIM());",  # 43
+    "    }",                                                                        # 44
+    "    return result;",                                                           # 45
+    "}",                                                                            # 46
+    "int Non_Crossing_Biased_Descend() {",                                          # 47
+    "    int upward_preferred;",                                                    # 48
+    "    int result;",                                                              # 49
+    "    upward_preferred = Inhibit_Biased_Climb() > Down_Separation;",             # 50
+    "    if (upward_preferred) {",                                                  # 51
+    "        result = Own_Below_Threat() && (Cur_Vertical_Sep >= MINSEP) && (Down_Separation >= ALIM());",  # 52
+    "    } else {",                                                                 # 53
+    "        result = !(Own_Above_Threat()) || (Up_Separation >= ALIM());",         # 54
+    "    }",                                                                        # 55
+    "    return result;",                                                           # 56
+    "}",                                                                            # 57
+    "int alt_sep_test() {",                                                         # 58
+    "    int enabled;",                                                             # 59
+    "    int tcas_equipped;",                                                       # 60
+    "    int intent_not_known;",                                                    # 61
+    "    int need_upward_RA;",                                                      # 62
+    "    int need_downward_RA;",                                                    # 63
+    "    int alt_sep;",                                                             # 64
+    "    enabled = High_Confidence && (Own_Tracked_Alt_Rate <= OLEV) && (Cur_Vertical_Sep > MAXALTDIFF);",  # 65
+    "    tcas_equipped = Other_Capability == 1;",                                   # 66
+    "    intent_not_known = Two_of_Three_Reports_Valid && (Other_RAC == 0);",       # 67
+    "    alt_sep = 0;",                                                             # 68
+    "    if (enabled && ((tcas_equipped && intent_not_known) || !tcas_equipped)) {",  # 69
+    "        need_upward_RA = Non_Crossing_Biased_Climb() && Own_Below_Threat();",  # 70
+    "        need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();",  # 71
+    "        if (need_upward_RA && need_downward_RA) {",                            # 72
+    "            alt_sep = 0;",                                                     # 73
+    "        } else {",                                                             # 74
+    "            if (need_upward_RA) {",                                            # 75
+    "                alt_sep = 1;",                                                 # 76
+    "            } else {",                                                         # 77
+    "                if (need_downward_RA) {",                                      # 78
+    "                    alt_sep = 2;",                                             # 79
+    "                } else {",                                                     # 80
+    "                    alt_sep = 0;",                                             # 81
+    "                }",                                                            # 82
+    "            }",                                                                # 83
+    "        }",                                                                    # 84
+    "    }",                                                                        # 85
+    "    return alt_sep;",                                                          # 86
+    "}",                                                                            # 87
+    "int main(int Cur_Vertical_Sep_in, int High_Confidence_in, int Two_of_Three_Reports_Valid_in, int Own_Tracked_Alt_in, int Own_Tracked_Alt_Rate_in, int Other_Tracked_Alt_in, int Alt_Layer_Value_in, int Up_Separation_in, int Down_Separation_in, int Other_RAC_in, int Other_Capability_in, int Climb_Inhibit_in) {",  # 88
+    "    Cur_Vertical_Sep = Cur_Vertical_Sep_in;",                                  # 89
+    "    High_Confidence = High_Confidence_in;",                                    # 90
+    "    Two_of_Three_Reports_Valid = Two_of_Three_Reports_Valid_in;",              # 91
+    "    Own_Tracked_Alt = Own_Tracked_Alt_in;",                                    # 92
+    "    Own_Tracked_Alt_Rate = Own_Tracked_Alt_Rate_in;",                          # 93
+    "    Other_Tracked_Alt = Other_Tracked_Alt_in;",                                # 94
+    "    Alt_Layer_Value = Alt_Layer_Value_in;",                                    # 95
+    "    Up_Separation = Up_Separation_in;",                                        # 96
+    "    Down_Separation = Down_Separation_in;",                                    # 97
+    "    Other_RAC = Other_RAC_in;",                                                # 98
+    "    Other_Capability = Other_Capability_in;",                                  # 99
+    "    Climb_Inhibit = Climb_Inhibit_in;",                                        # 100
+    "    initialize();",                                                            # 101
+    "    return alt_sep_test();",                                                   # 102
+    "}",                                                                            # 103
+]
+
+TCAS_SOURCE = "\n".join(TCAS_LINES) + "\n"
+
+
+@lru_cache(maxsize=None)
+def tcas_program() -> ast.Program:
+    """The reference (fault-free) TCAS program."""
+    program = parse_program(TCAS_SOURCE, name="tcas")
+    check_program(program)
+    return program
+
+
+def tcas_fault(version: str):
+    """Fault descriptor of one faulty version (``"v1"`` ... ``"v41"``)."""
+    from repro.siemens.faults import TCAS_FAULTS
+
+    for fault in TCAS_FAULTS:
+        if fault.name == version:
+            return fault
+    raise KeyError(f"unknown TCAS version {version!r}")
+
+
+def tcas_versions() -> list[str]:
+    """All faulty version names, in order."""
+    from repro.siemens.faults import TCAS_FAULTS
+
+    return [fault.name for fault in TCAS_FAULTS]
+
+
+@lru_cache(maxsize=None)
+def tcas_faulty_program(version: str) -> ast.Program:
+    """Build the faulty TCAS program for one version of the fault catalogue."""
+    fault = tcas_fault(version)
+    lines = list(TCAS_LINES)
+    for line_number, replacement in fault.patches:
+        lines[line_number - 1] = replacement
+    source = "\n".join(lines) + "\n"
+    program = parse_program(source, name=f"tcas-{version}")
+    check_program(program)
+    return program

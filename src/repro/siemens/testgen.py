@@ -1,0 +1,138 @@
+"""Test-vector generation and golden outputs for the TCAS benchmark.
+
+The Siemens suite ships 1600 valid input vectors; the paper runs every
+faulty version on the pool, compares against the golden outputs of the
+original program, and uses the failing tests as counterexamples with the
+correct value as specification.  This module plays the same role with a
+deterministic pseudo-random pool: vectors are drawn from realistic ranges
+(separations around the RA thresholds, plausible altitudes and rates) plus a
+block of hand-picked corner vectors so that every decision in the program is
+exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.lang import Interpreter
+from repro.siemens.tcas import TCAS_INPUT_NAMES, tcas_program
+
+
+@dataclass(frozen=True)
+class TcasTestVector:
+    """One TCAS input vector."""
+
+    values: tuple[int, ...]
+
+    def as_list(self) -> list[int]:
+        return list(self.values)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(zip(TCAS_INPUT_NAMES, self.values))
+
+
+_CORNER_VECTORS = [
+    # Cur_Vertical_Sep, High_Confidence, Two_of_Three, Own_Alt, Own_Rate,
+    # Other_Alt, Alt_Layer, Up_Sep, Down_Sep, Other_RAC, Other_Cap, Climb_Inhibit
+    (601, 1, 1, 2000, 500, 3000, 0, 399, 400, 0, 1, 0),
+    (601, 1, 1, 3000, 500, 2000, 0, 400, 399, 0, 1, 0),
+    (700, 1, 1, 5000, 600, 5500, 1, 500, 500, 0, 1, 1),
+    (700, 1, 1, 5500, 600, 5000, 1, 499, 501, 0, 1, 1),
+    (800, 1, 0, 4000, 300, 4200, 2, 640, 639, 0, 2, 0),
+    (800, 1, 1, 4200, 300, 4000, 3, 741, 739, 0, 1, 1),
+    (601, 1, 1, 1000, 0, 1200, 0, 350, 450, 0, 1, 1),
+    (601, 1, 1, 1200, 0, 1000, 0, 450, 350, 0, 1, 0),
+    (599, 1, 1, 2000, 500, 3000, 0, 399, 400, 0, 1, 0),
+    (601, 0, 1, 2000, 500, 3000, 0, 399, 400, 0, 1, 0),
+    (601, 1, 1, 2000, 601, 3000, 0, 399, 400, 0, 1, 0),
+    (601, 1, 0, 2000, 500, 3000, 0, 399, 400, 1, 1, 0),
+    (601, 1, 1, 2000, 500, 3000, 1, 501, 499, 2, 2, 1),
+    (650, 1, 1, 2500, 400, 2400, 2, 630, 650, 0, 1, 1),
+    (650, 1, 1, 2400, 400, 2500, 3, 750, 730, 0, 1, 0),
+    (601, 1, 1, 2000, 500, 2000, 0, 400, 400, 0, 1, 0),
+]
+
+
+def generate_tcas_tests(count: int = 1600, seed: int = 2011) -> list[TcasTestVector]:
+    """Generate a deterministic pool of TCAS test vectors."""
+    rng = random.Random(seed)
+    vectors: list[TcasTestVector] = [
+        TcasTestVector(values=tuple(vector)) for vector in _CORNER_VECTORS[:count]
+    ]
+    thresholds = (400, 500, 640, 740)
+    while len(vectors) < count:
+        # The pool is biased toward vectors that actually reach the advisory
+        # logic (the Siemens pool is similarly crafted): mostly confident
+        # reports, vertical separation above the enabling threshold, and
+        # up/down separations clustered around the RA altitude thresholds.
+        roll = rng.random()
+        if roll < 0.08:
+            cur_vertical_sep = rng.choice([600, 601])
+        elif roll < 0.78:
+            cur_vertical_sep = rng.randint(601, 900)
+        else:
+            cur_vertical_sep = rng.randint(300, 600)
+        high_confidence = 1 if rng.random() < 0.85 else 0
+        two_of_three = 1 if rng.random() < 0.75 else 0
+        own_alt = rng.randint(1000, 9000)
+        rate_roll = rng.random()
+        if rate_roll < 0.05:
+            own_rate = 600
+        elif rate_roll < 0.8:
+            own_rate = rng.randint(0, 600)
+        else:
+            own_rate = rng.randint(601, 1200)
+        if rng.random() < 0.1:
+            other_alt = own_alt
+        else:
+            other_alt = own_alt + rng.choice([-1, 1]) * rng.randint(1, 600)
+        alt_layer = rng.randint(0, 3)
+
+        def separation() -> int:
+            draw = rng.random()
+            if draw < 0.15:
+                return rng.choice(thresholds)
+            if draw < 0.65:
+                return max(0, rng.choice(thresholds) + rng.randint(-60, 60))
+            return rng.randint(300, 900)
+
+        up_separation = separation()
+        down_separation = separation()
+        other_rac = 0 if rng.random() < 0.7 else rng.randint(1, 2)
+        other_capability = 1 if rng.random() < 0.7 else 2
+        climb_inhibit = rng.randint(0, 1)
+        vectors.append(
+            TcasTestVector(
+                values=(
+                    cur_vertical_sep,
+                    high_confidence,
+                    two_of_three,
+                    own_alt,
+                    own_rate,
+                    other_alt,
+                    alt_layer,
+                    up_separation,
+                    down_separation,
+                    other_rac,
+                    other_capability,
+                    climb_inhibit,
+                )
+            )
+        )
+    return vectors
+
+
+@lru_cache(maxsize=None)
+def _golden_cache(count: int, seed: int) -> tuple[int, ...]:
+    interpreter = Interpreter(tcas_program())
+    return tuple(
+        interpreter.run(vector.as_list()).return_value
+        for vector in generate_tcas_tests(count, seed)
+    )
+
+
+def golden_outputs(count: int = 1600, seed: int = 2011) -> list[int]:
+    """Golden outputs: the advisory the original program returns per test."""
+    return list(_golden_cache(count, seed))

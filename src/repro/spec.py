@@ -1,0 +1,62 @@
+"""Correctness specifications.
+
+The paper accepts three forms of specification: "either a post-condition, an
+assertion, or a 'golden output'" (Section 1).  A :class:`Specification`
+value tells the concolic tracer and the localizer which of these to enforce
+as the hard post-condition of the extended trace formula:
+
+* ``assertion`` — the program contains ``assert`` statements; a failing run
+  is one that violates some assertion, and the violated condition is
+  asserted to *hold* in the trace formula.
+* ``golden_output`` — the observable output of the run (values passed to
+  ``print_int`` plus the return value of the entry function) must equal a
+  given tuple; used for the Siemens benchmarks, where the original program's
+  output on each test is the specification for the faulty versions.
+* ``return_value`` — shorthand for a golden output consisting of only the
+  entry function's return value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Specification:
+    """What it means for a run to be correct."""
+
+    kind: str  # "assertion" | "golden-output" | "return-value"
+    expected: tuple[int, ...] = ()
+
+    @classmethod
+    def assertion(cls) -> "Specification":
+        """The program's own assert statements are the specification."""
+        return cls(kind="assertion")
+
+    @classmethod
+    def golden_output(cls, values: Sequence[int]) -> "Specification":
+        """The observable output must equal ``values``."""
+        return cls(kind="golden-output", expected=tuple(int(v) for v in values))
+
+    @classmethod
+    def return_value(cls, value: int) -> "Specification":
+        """The entry function must return ``value``."""
+        return cls(kind="return-value", expected=(int(value),))
+
+    def describe(self) -> str:
+        if self.kind == "assertion":
+            return "program assertions hold"
+        if self.kind == "return-value":
+            return f"return value == {self.expected[0]}"
+        return f"observable output == {list(self.expected)}"
+
+    def is_satisfied_by(self, observable: Sequence[int], assertion_failed: bool) -> bool:
+        """Check a concrete run against this specification."""
+        if self.kind == "assertion":
+            return not assertion_failed
+        if assertion_failed:
+            return False
+        if self.kind == "return-value":
+            return len(observable) >= 1 and observable[-1] == self.expected[0]
+        return tuple(observable) == self.expected

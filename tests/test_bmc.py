@@ -1,0 +1,169 @@
+"""Tests for the bounded model checker (the CBMC replacement)."""
+
+from __future__ import annotations
+
+from repro.bmc import BoundedModelChecker
+from repro.lang import Interpreter, parse_program
+
+
+def check(source: str, unwind: int = 16, width: int = 16):
+    return BoundedModelChecker(parse_program(source), width=width, unwind=unwind)
+
+
+class TestAssertionSearch:
+    def test_finds_violating_input(self):
+        source = """
+        int main(int x) {
+            assert(x != 42);
+            return x;
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["x"] == 42
+        assert counterexample.violated_line == 3
+
+    def test_reports_safe_program(self):
+        source = """
+        int main(int x) {
+            int y = x * 0;
+            assert(y == 0);
+            return y;
+        }
+        """
+        assert check(source).find_counterexample() is None
+        assert check(source).holds()
+
+    def test_counterexample_replays_in_interpreter(self):
+        source = """
+        int main(int a, int b) {
+            int smaller = a;
+            if (b < a) { smaller = b; }
+            assert(smaller <= a && smaller <= b && (smaller == a || smaller == b) && smaller != 7);
+            return smaller;
+        }
+        """
+        program = parse_program(source)
+        counterexample = BoundedModelChecker(program).find_counterexample()
+        assert counterexample is not None
+        result = Interpreter(program).run(counterexample.as_test())
+        assert result.assertion_failed
+
+    def test_branches_explored_symbolically(self):
+        source = """
+        int main(int x) {
+            int y = 0;
+            if (x > 10) {
+                y = 1;
+            } else {
+                y = 2;
+            }
+            assert(y != 1);
+            return y;
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["x"] > 10
+
+    def test_assume_restricts_search(self):
+        source = """
+        int main(int x) {
+            assume(x >= 0);
+            assume(x < 5);
+            assert(x != 3);
+            return x;
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["x"] == 3
+
+        safe = """
+        int main(int x) {
+            assume(x >= 0);
+            assume(x < 3);
+            assert(x != 3);
+            return x;
+        }
+        """
+        assert check(safe).find_counterexample() is None
+
+    def test_loop_unrolling_finds_bug_in_later_iteration(self):
+        source = """
+        int main(int n) {
+            assume(n >= 0);
+            assume(n <= 8);
+            int i = 0;
+            int total = 0;
+            while (i < n) {
+                total = total + 2;
+                i = i + 1;
+            }
+            assert(total != 10);
+            return total;
+        }
+        """
+        counterexample = check(source, unwind=10).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["n"] == 5
+
+    def test_function_calls_inlined(self):
+        source = """
+        int twice(int v) { return v + v; }
+        int main(int x) {
+            int y = twice(twice(x));
+            assert(y != 20);
+            return y;
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["x"] == 5
+
+    def test_early_return_paths(self):
+        source = """
+        int classify(int v) {
+            if (v < 0) { return 0; }
+            if (v == 0) { return 1; }
+            return 2;
+        }
+        int main(int x) {
+            int kind = classify(x);
+            assert(kind != 1);
+            return kind;
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["x"] == 0
+
+    def test_nondet_values_extracted(self):
+        source = """
+        int main(int x) {
+            int secret = nondet();
+            assert(x + secret != 9);
+            return x;
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert (counterexample.inputs["x"] + counterexample.nondet_values[0]) % (1 << 16) == 9
+
+    def test_global_arrays(self):
+        source = """
+        int limits[3] = {5, 10, 15};
+        int main(int i) {
+            assume(i >= 0);
+            assume(i < 3);
+            assert(limits[i] != 10);
+            return limits[i];
+        }
+        """
+        counterexample = check(source).find_counterexample()
+        assert counterexample is not None
+        assert counterexample.inputs["i"] == 1
+
+    def test_no_assertions_means_safe(self):
+        source = "int main(int x) { return x + 1; }"
+        assert check(source).find_counterexample() is None

@@ -1,0 +1,381 @@
+"""Tests for the mini-C front-end: lexer, parser, type checker, interpreter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    Interpreter,
+    ParseError,
+    RuntimeBudgetExceeded,
+    TypeCheckError,
+    check_program,
+    parse_program,
+)
+from repro.lang import ast
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.pretty import format_program
+from repro.lang.semantics import apply_binary, apply_unary, wrap
+from repro.lang.transform import (
+    constants_on_line,
+    operators_on_line,
+    replace_constant_on_line,
+    replace_operator_on_line,
+)
+
+MAX_PROGRAM = """
+int max3(int a, int b, int c) {
+    int best = a;
+    if (b > best) { best = b; }
+    if (c > best) { best = c; }
+    return best;
+}
+
+int main(int x, int y, int z) {
+    return max3(x, y, z);
+}
+"""
+
+LOOP_PROGRAM = """
+int main(int n) {
+    int total = 0;
+    int i = 0;
+    while (i < n) {
+        total = total + i;
+        i = i + 1;
+    }
+    assert(total >= 0);
+    return total;
+}
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("int x = 42; // comment\n x <= 3")
+        kinds = [(token.kind, token.text) for token in tokens]
+        assert ("keyword", "int") in kinds
+        assert ("ident", "x") in kinds
+        assert ("int", "42") in kinds
+        assert ("symbol", "<=") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_line_numbers(self):
+        tokens = tokenize("int a;\nint b;\n")
+        b_token = [token for token in tokens if token.text == "b"][0]
+        assert b_token.line == 2
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("/* original: x = 1 */ x = 2;")
+        texts = [token.text for token in tokens]
+        assert "1" not in texts
+        assert "2" in texts
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int x = @;")
+
+
+class TestParser:
+    def test_parse_functions_and_globals(self):
+        program = parse_program(MAX_PROGRAM)
+        assert set(program.functions) == {"max3", "main"}
+        assert program.functions["max3"].params == ("a", "b", "c")
+        assert program.functions["main"].returns_value
+
+    def test_statement_lines_recorded(self):
+        program = parse_program(LOOP_PROGRAM)
+        lines = program.statement_lines()
+        # The while header and the two body assignments are distinct lines.
+        assert len(lines) >= 5
+
+    def test_global_array_with_initializer(self):
+        program = parse_program("int thresholds[3] = {400, 500, 640};\nint main() { return thresholds[1]; }")
+        decl = program.globals[0]
+        assert isinstance(decl, ast.ArrayDecl)
+        assert decl.size == 3
+        assert len(decl.init) == 3
+
+    def test_ternary_and_logical_operators(self):
+        program = parse_program(
+            "int main(int a, int b) { return (a > b ? a : b) && 1 || 0; }"
+        )
+        assert "main" in program.functions
+
+    def test_else_if_chain(self):
+        source = """
+        int main(int x) {
+            int result = 0;
+            if (x == 1) { result = 10; }
+            else if (x == 2) { result = 20; }
+            else { result = 30; }
+            return result;
+        }
+        """
+        program = parse_program(source)
+        interp = Interpreter(program)
+        assert interp.run([2]).return_value == 20
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { int x = 1 return x; }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { if (1) { return 0; }")
+
+    def test_unexpected_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("float main() { return 0; }")
+
+    def test_parse_error_carries_line(self):
+        try:
+            parse_program("int main() {\n  x = ;\n}")
+        except ParseError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a ParseError")
+
+
+class TestTypeChecker:
+    def test_accepts_valid_program(self):
+        check_program(parse_program(MAX_PROGRAM))
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeCheckError):
+            check_program(parse_program("int main() { return missing; }"))
+
+    def test_undeclared_array(self):
+        with pytest.raises(TypeCheckError):
+            check_program(parse_program("int main() { return values[0]; }"))
+
+    def test_wrong_arity_call(self):
+        source = "int f(int a) { return a; } int main() { return f(1, 2); }"
+        with pytest.raises(TypeCheckError):
+            check_program(parse_program(source))
+
+    def test_undefined_function(self):
+        with pytest.raises(TypeCheckError):
+            check_program(parse_program("int main() { return g(1); }"))
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(TypeCheckError):
+            check_program(parse_program("void f() { return 3; } int main() { return 0; }"))
+
+    def test_array_used_as_scalar(self):
+        source = "int a[3]; int main() { return a; }"
+        with pytest.raises(TypeCheckError):
+            check_program(parse_program(source))
+
+
+class TestInterpreter:
+    def test_max3(self):
+        interp = Interpreter(parse_program(MAX_PROGRAM))
+        assert interp.run([3, 9, 5]).return_value == 9
+        assert interp.run([10, 2, 3]).return_value == 10
+
+    def test_loop_sum(self):
+        interp = Interpreter(parse_program(LOOP_PROGRAM))
+        result = interp.run([5])
+        assert result.return_value == 10
+        assert result.passed
+
+    def test_named_inputs(self):
+        interp = Interpreter(parse_program(LOOP_PROGRAM))
+        assert interp.run({"n": 4}).return_value == 6
+
+    def test_wrong_input_count(self):
+        interp = Interpreter(parse_program(LOOP_PROGRAM))
+        with pytest.raises(ValueError):
+            interp.run([1, 2])
+
+    def test_assertion_failure_reported_with_line(self):
+        source = "int main(int x) {\n    assert(x < 10);\n    return x;\n}"
+        result = Interpreter(parse_program(source)).run([50])
+        assert result.assertion_failed
+        assert result.failed_line == 2
+        assert result.failure_kind == "assertion"
+
+    def test_assume_stops_execution(self):
+        source = "int main(int x) { assume(x > 0); assert(x > 0); return x; }"
+        result = Interpreter(parse_program(source)).run([-5])
+        assert result.assumption_violated
+        assert not result.assertion_failed
+
+    def test_print_int_collects_outputs(self):
+        source = "int main(int x) { print_int(x); print_int(x + 1); return x + 2; }"
+        result = Interpreter(parse_program(source)).run([10])
+        assert result.outputs == [10, 11]
+        assert result.observable == (10, 11, 12)
+
+    def test_global_state_and_arrays(self):
+        source = """
+        int counter = 5;
+        int table[3] = {7, 8, 9};
+        void bump() { counter = counter + 1; }
+        int main(int i) {
+            bump();
+            bump();
+            return table[i] + counter;
+        }
+        """
+        result = Interpreter(parse_program(source)).run([2])
+        assert result.return_value == 9 + 7
+
+    def test_array_bounds_checked_when_enabled(self):
+        source = "int a[3];\nint main(int i) {\n    return a[i];\n}"
+        program = parse_program(source)
+        checked = Interpreter(program, check_bounds=True).run([5])
+        assert checked.assertion_failed
+        assert checked.failure_kind == "array bounds"
+        unchecked = Interpreter(program, check_bounds=False).run([5])
+        assert unchecked.passed
+
+    def test_short_circuit_evaluation(self):
+        # Division by zero is defined as 0, but short-circuit still matters
+        # for function calls with side effects.
+        source = """
+        int hits = 0;
+        int bump() { hits = hits + 1; return 1; }
+        int main(int x) {
+            int ignore = (x > 0) || bump();
+            int also = (x > 0) && bump();
+            return hits;
+        }
+        """
+        assert Interpreter(parse_program(source)).run([5]).return_value == 1
+        assert Interpreter(parse_program(source)).run([-5]).return_value == 1
+
+    def test_recursion(self):
+        source = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main(int n) { return fact(n); }
+        """
+        assert Interpreter(parse_program(source)).run([5]).return_value == 120
+
+    def test_step_budget(self):
+        source = "int main() { while (1) { int x = 0; } return 0; }"
+        with pytest.raises(RuntimeBudgetExceeded):
+            Interpreter(parse_program(source), max_steps=1000).run([])
+
+    def test_nondet_values(self):
+        source = "int main() { int a = nondet(); int b = nondet(); return a + b; }"
+        result = Interpreter(parse_program(source)).run([], nondet_values=[4, 6])
+        assert result.return_value == 10
+
+    def test_fixed_width_wraparound(self):
+        source = "int main(int x) { return x + 1; }"
+        result = Interpreter(parse_program(source), width=8).run([127])
+        assert result.return_value == -128
+
+    def test_ternary(self):
+        source = "int main(int a, int b) { return a > b ? a : b; }"
+        interp = Interpreter(parse_program(source))
+        assert interp.run([3, 7]).return_value == 7
+        assert interp.run([9, 2]).return_value == 9
+
+
+class TestPrettyPrinter:
+    def test_round_trip_preserves_behaviour(self):
+        program = parse_program(MAX_PROGRAM)
+        regenerated = parse_program(format_program(program))
+        original = Interpreter(program)
+        round_tripped = Interpreter(regenerated)
+        for inputs in ([1, 2, 3], [9, 4, 6], [0, 0, 0], [-3, -9, -1]):
+            assert original.run(inputs).return_value == round_tripped.run(inputs).return_value
+
+    def test_round_trip_loop_program(self):
+        program = parse_program(LOOP_PROGRAM)
+        regenerated = parse_program(format_program(program))
+        assert Interpreter(regenerated).run([6]).return_value == 15
+
+
+class TestTransform:
+    SOURCE = "\n".join(
+        [
+            "int main(int index) {",        # line 1
+            "    if (index != 1) {",        # line 2
+            "        index = 2;",           # line 3
+            "    } else {",                 # line 4
+            "        index = index + 2;",   # line 5
+            "    }",
+            "    return index;",
+            "}",
+        ]
+    )
+
+    def test_constants_on_line(self):
+        program = parse_program(self.SOURCE)
+        assert constants_on_line(program, 5) == [2]
+        assert constants_on_line(program, 3) == [2]
+        assert constants_on_line(program, 7) == []
+
+    def test_operators_on_line(self):
+        program = parse_program(self.SOURCE)
+        assert operators_on_line(program, 2) == ["!="]
+        assert operators_on_line(program, 5) == ["+"]
+
+    def test_replace_constant(self):
+        program = parse_program(self.SOURCE)
+        patched = replace_constant_on_line(program, 5, 2, 1)
+        assert Interpreter(patched).run([1]).return_value == 2
+        # Original program is untouched.
+        assert Interpreter(program).run([1]).return_value == 3
+        # The constant on line 3 is not affected.
+        assert Interpreter(patched).run([7]).return_value == 2
+
+    def test_replace_operator(self):
+        program = parse_program(self.SOURCE)
+        patched = replace_operator_on_line(program, 2, "!=", "==")
+        assert Interpreter(patched).run([1]).return_value == 2
+        assert Interpreter(patched).run([5]).return_value == 7
+
+
+class TestSemantics:
+    def test_division_truncates_toward_zero(self):
+        assert apply_binary("/", 7, 2) == 3
+        assert apply_binary("/", -7, 2) == -3
+        assert apply_binary("%", -7, 2) == -1
+
+    def test_division_by_zero_defined(self):
+        assert apply_binary("/", 5, 0) == 0
+        assert apply_binary("%", 5, 0) == 5
+
+    def test_unary(self):
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("!", 0) == 1
+        assert apply_unary("!", 17) == 0
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=200, deadline=None)
+    def test_comparisons_match_python(self, a, b):
+        assert apply_binary("<", a, b) == int(a < b)
+        assert apply_binary(">=", a, b) == int(a >= b)
+        assert apply_binary("==", a, b) == int(a == b)
+
+    @given(st.integers(-(2**20), 2**20))
+    @settings(max_examples=200, deadline=None)
+    def test_wrap_is_idempotent_and_in_range(self, value):
+        wrapped = wrap(value)
+        assert -(2**15) <= wrapped < 2**15
+        assert wrap(wrapped) == wrapped
+        assert (wrapped - value) % (2**16) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(-300, 300),
+    b=st.integers(-300, 300),
+    c=st.integers(-300, 300),
+)
+def test_interpreter_matches_python_semantics_on_max3(a, b, c):
+    interp = Interpreter(parse_program(MAX_PROGRAM))
+    assert interp.run([a, b, c]).return_value == max(a, b, c)

@@ -1,0 +1,295 @@
+"""Unit and property-based tests for the partial weighted MaxSAT engines."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maxsat import (
+    HittingSetMaxSat,
+    LinearSearchMaxSat,
+    Msu3MaxSat,
+    WCNF,
+    enumerate_mcses,
+    make_engine,
+    solve_maxsat,
+)
+from repro.maxsat.engine import clause_satisfied
+from repro.maxsat.hitting_set import minimum_cost_hitting_set
+
+ENGINES = ["hitting-set", "msu3", "linear"]
+
+
+def brute_force_optimum(wcnf: WCNF) -> int | None:
+    """Reference optimum cost by enumerating all assignments (None = hard UNSAT)."""
+    num_vars = wcnf.num_vars
+    best: int | None = None
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        if not all(clause_satisfied(clause, model) for clause in wcnf.hard):
+            continue
+        cost = sum(
+            soft.weight for soft in wcnf.soft if not clause_satisfied(soft.lits, model)
+        )
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def simple_instance() -> WCNF:
+    """x1 and x2 cannot both hold (hard); we would like both (soft)."""
+    wcnf = WCNF()
+    wcnf.add_hard([-1, -2])
+    wcnf.add_soft([1], label="want-x1")
+    wcnf.add_soft([2], label="want-x2")
+    return wcnf
+
+
+class TestWcnf:
+    def test_counts_and_weights(self):
+        wcnf = simple_instance()
+        assert wcnf.num_vars == 2
+        assert wcnf.total_soft_weight == 2
+        assert not wcnf.is_weighted()
+
+    def test_weighted_flag(self):
+        wcnf = WCNF()
+        wcnf.add_soft([1], weight=1)
+        wcnf.add_soft([2], weight=5)
+        assert wcnf.is_weighted()
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WCNF().add_soft([1], weight=0)
+
+    def test_soft_group_construction(self):
+        wcnf = WCNF()
+        selector = wcnf.add_soft_group([[1, 2], [-1, 3]], label="stmt-4")
+        assert selector == wcnf.num_vars
+        # Each group clause became a hard clause guarded by the selector.
+        assert [1, 2, -selector] in wcnf.hard
+        assert [-1, 3, -selector] in wcnf.hard
+        assert wcnf.soft[0].lits == (selector,)
+        assert wcnf.soft[0].label == "stmt-4"
+
+    def test_copy_is_independent(self):
+        wcnf = simple_instance()
+        duplicate = wcnf.copy()
+        duplicate.add_hard([1])
+        assert len(wcnf.hard) == 1
+        assert len(duplicate.hard) == 2
+
+
+class TestEngines:
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_all_soft_satisfiable(self, strategy):
+        wcnf = WCNF()
+        wcnf.add_hard([1, 2])
+        wcnf.add_soft([1])
+        wcnf.add_soft([2, 3])
+        result = solve_maxsat(wcnf, strategy=strategy)
+        assert result.satisfiable
+        assert result.cost == 0
+        assert result.falsified == []
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_one_clause_must_fall(self, strategy):
+        result = solve_maxsat(simple_instance(), strategy=strategy)
+        assert result.satisfiable
+        assert result.cost == 1
+        assert len(result.falsified) == 1
+        assert result.falsified_labels[0] in {"want-x1", "want-x2"}
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_hard_clauses_unsat(self, strategy):
+        wcnf = WCNF()
+        wcnf.add_hard([1])
+        wcnf.add_hard([-1])
+        wcnf.add_soft([2])
+        result = solve_maxsat(wcnf, strategy=strategy)
+        assert not result.satisfiable
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_non_unit_soft_clauses(self, strategy):
+        wcnf = WCNF()
+        wcnf.add_hard([-1, -2])
+        wcnf.add_hard([-1, -3])
+        wcnf.add_soft([2, 3])
+        wcnf.add_soft([1])
+        result = solve_maxsat(wcnf, strategy=strategy)
+        assert result.satisfiable
+        assert result.cost == 1
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_cost_matches_brute_force_on_fixed_instances(self, strategy):
+        instances = []
+        first = WCNF()
+        first.add_hard([1, 2, 3])
+        first.add_hard([-1, -2])
+        first.add_soft([1])
+        first.add_soft([2])
+        first.add_soft([3])
+        first.add_soft([-3, 1])
+        instances.append(first)
+        second = WCNF()
+        second.add_hard([-1])
+        second.add_soft([1])
+        second.add_soft([1, 2])
+        second.add_soft([-2])
+        instances.append(second)
+        for wcnf in instances:
+            result = solve_maxsat(wcnf, strategy=strategy)
+            assert result.satisfiable
+            assert result.cost == brute_force_optimum(wcnf)
+
+    def test_weighted_prefers_cheap_violation(self):
+        wcnf = WCNF()
+        wcnf.add_hard([-1, -2])
+        wcnf.add_soft([1], weight=10, label="expensive")
+        wcnf.add_soft([2], weight=1, label="cheap")
+        result = solve_maxsat(wcnf)
+        assert result.cost == 1
+        assert result.falsified_labels == ["cheap"]
+
+    def test_weighted_rejected_by_unweighted_engines(self):
+        wcnf = WCNF()
+        wcnf.add_soft([1], weight=2)
+        wcnf.add_soft([2], weight=1)
+        with pytest.raises(ValueError):
+            Msu3MaxSat().solve(wcnf)
+        with pytest.raises(ValueError):
+            LinearSearchMaxSat().solve(wcnf)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_engine("simulated-annealing")
+
+    def test_empty_instance(self):
+        result = solve_maxsat(WCNF())
+        assert result.satisfiable
+        assert result.cost == 0
+
+    def test_selector_group_instance(self):
+        # Two statement groups that contradict each other: exactly one must
+        # be disabled, mirroring the BugAssist encoding.
+        wcnf = WCNF()
+        x = 1
+        wcnf._num_vars = 1
+        group_a = wcnf.add_soft_group([[x]], label="line-1")
+        group_b = wcnf.add_soft_group([[-x]], label="line-2")
+        result = solve_maxsat(wcnf)
+        assert result.cost == 1
+        assert set(result.falsified_labels) <= {"line-1", "line-2"}
+        assert {group_a, group_b} == {wcnf.soft[0].lits[0], wcnf.soft[1].lits[0]}
+
+
+class TestHittingSet:
+    def test_empty_cores(self):
+        assert minimum_cost_hitting_set([], [1, 1, 1]) == set()
+
+    def test_single_core_picks_cheapest(self):
+        cores = [frozenset({0, 1, 2})]
+        assert minimum_cost_hitting_set(cores, [5, 1, 3]) == {1}
+
+    def test_disjoint_cores(self):
+        cores = [frozenset({0, 1}), frozenset({2, 3})]
+        result = minimum_cost_hitting_set(cores, [1, 2, 2, 1])
+        assert result == {0, 3}
+
+    def test_overlapping_cores_prefer_shared_element(self):
+        cores = [frozenset({0, 1}), frozenset({1, 2})]
+        result = minimum_cost_hitting_set(cores, [1, 1, 1])
+        assert result == {1}
+
+    def test_weighted_tradeoff(self):
+        # Hitting both cores through the shared element costs 10; hitting
+        # them separately costs 2.
+        cores = [frozenset({0, 1}), frozenset({0, 2})]
+        result = minimum_cost_hitting_set(cores, [10, 1, 1])
+        assert result == {1, 2}
+
+
+class TestMcsEnumeration:
+    def test_enumerates_both_singletons(self):
+        results = list(enumerate_mcses(simple_instance()))
+        found = {frozenset(result.falsified) for result in results}
+        assert frozenset({0}) in found
+        assert frozenset({1}) in found
+
+    def test_respects_max_count(self):
+        results = list(enumerate_mcses(simple_instance(), max_count=1))
+        assert len(results) == 1
+
+    def test_stops_when_everything_satisfiable(self):
+        wcnf = WCNF()
+        wcnf.add_hard([1])
+        wcnf.add_soft([1])
+        assert list(enumerate_mcses(wcnf)) == []
+
+    def test_costs_non_decreasing(self):
+        wcnf = WCNF()
+        wcnf.add_hard([-1, -2])
+        wcnf.add_hard([-3, -4])
+        for var in (1, 2, 3, 4):
+            wcnf.add_soft([var])
+        costs = [result.cost for result in enumerate_mcses(wcnf, max_count=6)]
+        assert costs == sorted(costs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hard=st.lists(
+        st.lists(
+            st.integers(min_value=-4, max_value=4).filter(lambda x: x != 0),
+            min_size=1,
+            max_size=3,
+        ),
+        max_size=6,
+    ),
+    soft=st.lists(
+        st.lists(
+            st.integers(min_value=-4, max_value=4).filter(lambda x: x != 0),
+            min_size=1,
+            max_size=2,
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_engines_agree_with_brute_force(hard, soft):
+    wcnf = WCNF()
+    for clause in hard:
+        wcnf.add_hard(clause)
+    for clause in soft:
+        wcnf.add_soft(clause)
+    expected = brute_force_optimum(wcnf)
+    for strategy in ENGINES:
+        result = solve_maxsat(wcnf, strategy=strategy)
+        if expected is None:
+            assert not result.satisfiable
+        else:
+            assert result.satisfiable
+            assert result.cost == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=5),
+    data=st.data(),
+)
+def test_weighted_hitting_set_matches_brute_force(weights, data):
+    num_vars = len(weights)
+    wcnf = WCNF()
+    # Pairwise hard conflicts between some soft unit literals.
+    for first in range(1, num_vars + 1):
+        for second in range(first + 1, num_vars + 1):
+            if data.draw(st.booleans()):
+                wcnf.add_hard([-first, -second])
+    for var, weight in enumerate(weights, start=1):
+        wcnf.add_soft([var], weight=weight)
+    expected = brute_force_optimum(wcnf)
+    result = HittingSetMaxSat().solve(wcnf)
+    assert result.satisfiable
+    assert result.cost == expected

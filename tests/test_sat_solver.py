@@ -1,0 +1,216 @@
+"""Unit and property-based tests for the CDCL SAT solver."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver
+from repro.sat.literals import normalize_clause
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    """Reference satisfiability check by exhaustive enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve()
+
+    def test_single_unit_clause(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.solve()
+        assert solver.model_value(1) is True
+        assert solver.model_value(-1) is False
+
+    def test_contradictory_units(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert not solver.add_clause([-1]) or not solver.solve()
+        assert not solver.solve()
+
+    def test_simple_implication_chain(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve()
+        assert solver.model_value(3) is True
+
+    def test_empty_clause_rejected(self):
+        solver = Solver()
+        assert not solver.add_clause([])
+        assert not solver.solve()
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Solver().add_clause([0])
+
+    def test_tautological_clause_ignored(self):
+        solver = Solver()
+        assert solver.add_clause([1, -1])
+        assert solver.solve()
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # 3 pigeons, 2 holes: var p_{i,h} = 2*i + h + 1.
+        solver = Solver()
+
+        def var(pigeon: int, hole: int) -> int:
+            return pigeon * 2 + hole + 1
+
+        for pigeon in range(3):
+            solver.add_clause([var(pigeon, 0), var(pigeon, 1)])
+        for hole in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-var(p1, hole), -var(p2, hole)])
+        assert not solver.solve()
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve()
+        model = solver.get_model()
+        for clause in clauses:
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+    def test_incremental_reuse(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        assert solver.solve()
+        assert solver.model_value(2) is True
+        solver.add_clause([-2])
+        assert not solver.solve()
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions(self):
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        assert solver.solve([1])
+        assert solver.model_value(2) is True
+
+    def test_unsat_under_assumptions_but_sat_without(self):
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, -3])
+        assert not solver.solve([1, 3])
+        assert solver.solve()
+        assert solver.solve([1])
+
+    def test_core_is_subset_of_assumptions(self):
+        solver = Solver()
+        solver.add_clause([-1, -2])
+        assert not solver.solve([1, 2, 3])
+        core = solver.unsat_core()
+        assert set(core) <= {1, 2, 3}
+        assert core
+
+    def test_core_is_actually_unsat(self):
+        solver = Solver()
+        solver.add_clause([-1, -2])
+        solver.add_clause([-3, -4])
+        assert not solver.solve([1, 2, 3, 4])
+        core = solver.unsat_core()
+        # Re-solving under only the core must still be UNSAT.
+        assert not solver.solve(core)
+
+    def test_contradictory_assumptions(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert not solver.solve([3, -3])
+        core = solver.unsat_core()
+        assert set(core) <= {3, -3}
+
+    def test_assumption_on_fresh_variable(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.solve([5])
+        assert solver.model_value(5) is True
+
+
+class TestSelectorPattern:
+    """The usage pattern the MaxSAT layer relies on: selector variables."""
+
+    def test_enable_disable_clause_groups(self):
+        solver = Solver()
+        # Group A (selector 10): x1 must be true.  Group B (selector 11): x1 false.
+        solver.add_clause([-10, 1])
+        solver.add_clause([-11, -1])
+        assert solver.solve([10])
+        assert solver.solve([11])
+        assert not solver.solve([10, 11])
+        core = set(solver.unsat_core())
+        assert core <= {10, 11}
+        assert len(core) == 2
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=-6, max_value=6).filter(lambda x: x != 0),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=18,
+    )
+)
+def test_random_formulas_match_brute_force(clauses):
+    cleaned = []
+    for clause in clauses:
+        normalized = normalize_clause(clause)
+        if normalized is not None:
+            cleaned.append(normalized)
+    solver = Solver()
+    for clause in cleaned:
+        solver.add_clause(clause)
+    expected = brute_force_sat(6, cleaned)
+    assert solver.solve() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=-5, max_value=5).filter(lambda x: x != 0),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.lists(
+        st.integers(min_value=-5, max_value=5).filter(lambda x: x != 0),
+        max_size=3,
+        unique_by=abs,
+    ),
+)
+def test_assumptions_equivalent_to_unit_clauses(clauses, assumptions):
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    under_assumptions = solver.solve(assumptions)
+
+    reference = Solver()
+    for clause in clauses:
+        reference.add_clause(clause)
+    for lit in assumptions:
+        reference.add_clause([lit])
+    assert under_assumptions == reference.solve()
