@@ -1,13 +1,14 @@
 """Def/use analysis and static backward slicing over mini-C programs.
 
-The slice is computed at *line* granularity and is deliberately
-flow-insensitive (a sound over-approximation): a line is relevant when it
-defines a variable used by a relevant line, when it is a control statement
-(``if``/``while``) whose body contains a relevant line, or when it belongs
-to a function (transitively) called from a relevant line.  This matches the
-"simple program slicing" the paper applies before building the MaxSAT
-instance for the larger benchmarks (Table 3): it removes assignments that
-cannot influence the checked assertion or output.
+The slice is computed at *line* granularity and is flow-insensitive (a
+sound over-approximation), but it is scope-sensitive and
+control-dependence-aware: variables are resolved per function (a local
+``i`` of one function does not alias a local ``i`` of another), a control
+statement (``if``/``while``) enters the slice only when its body contains a
+relevant line, and a call site enters the slice only when its callee
+contains one.  This matches the "simple program slicing" the paper applies
+before building the MaxSAT instance for the larger benchmarks (Table 3): it
+removes assignments that cannot influence the checked assertion or output.
 """
 
 from __future__ import annotations
@@ -165,6 +166,24 @@ def call_graph(program: ast.Program) -> dict[str, set[str]]:
     return graph
 
 
+def function_local_names(function: ast.Function) -> set[str]:
+    """Parameters and locally declared variable names of a function."""
+    names: set[str] = set(function.params)
+
+    def visit(statements: tuple[ast.Stmt, ...]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.VarDecl, ast.ArrayDecl)):
+                names.add(stmt.name)
+            if isinstance(stmt, ast.If):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body)
+
+    visit(function.body)
+    return names
+
+
 def backward_slice_lines(
     program: ast.Program,
     criterion_variables: Optional[Iterable[str]] = None,
@@ -174,68 +193,94 @@ def backward_slice_lines(
     The slicing criterion defaults to every variable used in an ``assert``,
     ``print_int`` or ``return`` statement of ``main`` (plus explicitly given
     ``criterion_variables``).  The result is the set of source lines whose
-    statements can (transitively, flow-insensitively) affect those variables,
-    including the control statements around them and everything inside
-    functions reachable from relevant calls.
-    """
-    all_statements: list[tuple[ast.Stmt, str]] = []
+    statements can (transitively, flow-insensitively) affect those variables.
 
-    def collect(statements: tuple[ast.Stmt, ...], function: str) -> None:
+    Variables are qualified by their defining scope: a local of one function
+    never matches a like-named local of another, so a helper whose locals
+    merely shadow relevant names stays out of the slice.  Control statements
+    join the slice only when their bodies contain a relevant line, and a
+    call site joins only once its callee does — this keeps functions with no
+    influence on the criterion entirely out of the slice, which is what lets
+    :func:`repro.reduction.slicing.sliced_tracer_settings` classify them as
+    concretizable.
+    """
+    locals_of = {
+        name: function_local_names(function)
+        for name, function in program.functions.items()
+    }
+    defined_functions = set(program.functions)
+
+    # Each record is (statement, enclosing function, enclosing control
+    # statements from outermost to innermost).
+    records: list[tuple[ast.Stmt, str, tuple[ast.Stmt, ...]]] = []
+
+    def collect(
+        statements: tuple[ast.Stmt, ...], function: str, parents: tuple[ast.Stmt, ...]
+    ) -> None:
         for stmt in statements:
-            all_statements.append((stmt, function))
+            records.append((stmt, function, parents))
             if isinstance(stmt, ast.If):
-                collect(stmt.then_body, function)
-                collect(stmt.else_body, function)
+                collect(stmt.then_body, function, parents + (stmt,))
+                collect(stmt.else_body, function, parents + (stmt,))
             elif isinstance(stmt, ast.While):
-                collect(stmt.body, function)
+                collect(stmt.body, function, parents + (stmt,))
 
     for name, function in program.functions.items():
-        collect(function.body, name)
+        collect(function.body, name, ())
 
-    relevant_vars: set[str] = set(criterion_variables or ())
+    def qualify(names: set[str], function: str) -> set[tuple[Optional[str], str]]:
+        scope = locals_of.get(function, set())
+        return {(function if name in scope else None, name) for name in names}
+
+    relevant_vars: set[tuple[Optional[str], str]] = set()
+    for name in criterion_variables or ():
+        # Explicit criterion names are matched in every scope they occur in.
+        relevant_vars.add((None, name))
+        for function, scope in locals_of.items():
+            if name in scope:
+                relevant_vars.add((function, name))
+
     relevant_lines: set[int] = set()
-    relevant_functions: set[str] = set()
-    for stmt, function in all_statements:
+    # The entry point's assumptions and returns always matter: they constrain
+    # the test inputs and the observed result.
+    relevant_functions: set[str] = {"main"}
+
+    def apply_effects(stmt: ast.Stmt, function: str, parents: tuple[ast.Stmt, ...]) -> None:
+        """Record a statement as relevant: its line, reads, callees, guards."""
+        relevant_lines.add(stmt.line)
+        relevant_vars.update(qualify(statement_uses(stmt), function))
+        relevant_functions.update(statement_calls(stmt) & defined_functions)
+        for parent in parents:  # control dependence: the guards stay
+            relevant_lines.add(parent.line)
+            relevant_vars.update(qualify(statement_uses(parent), function))
+            relevant_functions.update(statement_calls(parent) & defined_functions)
+
+    # Seeds: assertions and outputs anywhere, plus main's returns.
+    for stmt, function, parents in records:
         if isinstance(stmt, (ast.Assert, ast.Print)) or (
             isinstance(stmt, ast.Return) and function == "main"
         ):
-            relevant_vars |= statement_uses(stmt)
-            relevant_lines.add(stmt.line)
-            relevant_functions |= statement_calls(stmt)
+            apply_effects(stmt, function, parents)
 
-    # Fixed point: add statements defining relevant variables, control
-    # statements, and the bodies of functions called from relevant lines.
-    changed = True
-    while changed:
-        changed = False
-        for stmt, function in all_statements:
+    # Fixed point over the def/use closure.
+    while True:
+        before = (len(relevant_lines), len(relevant_vars), len(relevant_functions))
+        functions_with_relevant_lines = {
+            function for stmt, function, _ in records if stmt.line in relevant_lines
+        }
+        for stmt, function, parents in records:
             if stmt.line in relevant_lines:
-                new_functions = statement_calls(stmt) & set(program.functions)
-                if not new_functions <= relevant_functions:
-                    relevant_functions |= new_functions
-                    changed = True
+                apply_effects(stmt, function, parents)
                 continue
-            relevant = False
-            if statement_defs(stmt) & relevant_vars:
-                relevant = True
-            if isinstance(stmt, (ast.If, ast.While)):
-                relevant = True
-            if function in relevant_functions and isinstance(
-                stmt, (ast.Return, ast.Assert, ast.Assume)
-            ):
-                relevant = True
+            relevant = bool(qualify(statement_defs(stmt), function) & relevant_vars)
+            if not relevant and function in relevant_functions:
+                relevant = isinstance(stmt, (ast.Return, ast.Assert, ast.Assume))
+            if not relevant:
+                # A call site matters as soon as its callee contains a
+                # relevant statement (the call is what executes it).
+                relevant = bool(statement_calls(stmt) & functions_with_relevant_lines)
             if relevant:
-                relevant_lines.add(stmt.line)
-                relevant_vars |= statement_uses(stmt)
-                relevant_functions |= statement_calls(stmt) & set(program.functions)
-                changed = True
-        # Parameters of relevant functions: their callers' argument
-        # expressions are already covered through statement_uses of the call
-        # sites; the bodies become relevant through `relevant_functions`.
-        for stmt, function in all_statements:
-            if function in relevant_functions and statement_defs(stmt) & relevant_vars:
-                if stmt.line not in relevant_lines:
-                    relevant_lines.add(stmt.line)
-                    relevant_vars |= statement_uses(stmt)
-                    changed = True
+                apply_effects(stmt, function, parents)
+        if (len(relevant_lines), len(relevant_vars), len(relevant_functions)) == before:
+            break
     return relevant_lines

@@ -15,6 +15,12 @@ Given a failing test, the localizer
    the disjunction of its selectors as a hard clause while removing them
    from the soft set,
 4. stops when no further CoMSS exists ("no more suspects").
+
+The CoMSS loop is incremental: the trace formula is loaded into one engine
+(and hence one persistent SAT solver) once, and each blocking clause is
+added to the live solver through :meth:`MaxSatEngine.block` — learnt
+clauses, variable activities and saved phases from earlier candidates all
+carry over, instead of rebuilding a fresh engine and WCNF per candidate.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from repro.encoding.context import StatementGroup
 from repro.encoding.trace import TraceFormula
 from repro.lang import ast
 from repro.lang.semantics import DEFAULT_WIDTH
-from repro.maxsat import WCNF, make_engine
+from repro.maxsat import make_engine
 from repro.spec import Specification
 
 
@@ -119,10 +125,11 @@ class BugAssistLocalizer:
             trace_variables=formula.num_vars,
             trace_clauses=formula.num_clauses,
         )
+        engine = make_engine(self.strategy)
+        engine.load(wcnf)
         maxsat_calls = 0
         for _ in range(self.max_candidates):
-            engine = make_engine(self.strategy)
-            result = engine.solve(wcnf)
+            result = engine.solve_current()
             maxsat_calls += 1
             if not result.satisfiable or not result.falsified:
                 break
@@ -134,8 +141,9 @@ class BugAssistLocalizer:
             if not groups:
                 break
             report.candidates.append(BugLocation(groups=groups, cost=result.cost))
-            wcnf = self._block_candidate(wcnf, result.falsified)
+            engine.block(result.falsified)
         report.maxsat_calls = maxsat_calls
+        report.sat_calls = engine.sat_calls
         report.time_seconds = time.perf_counter() - started
         return report
 
@@ -152,27 +160,3 @@ class BugAssistLocalizer:
             inputs, spec, entry=entry, nondet_values=nondet_values
         )
         return self.localize_trace(formula, program_name=program_name)
-
-    # ------------------------------------------------------------- internals
-
-    @staticmethod
-    def _block_candidate(wcnf: WCNF, falsified: Sequence[int]) -> WCNF:
-        """Apply lines 13-14 of Algorithm 1: block the CoMSS just reported.
-
-        The blocking clause ``beta`` (the disjunction of the CoMSS's selector
-        variables) becomes hard, and the blocked selectors leave the soft set
-        so later iterations explore different statements.
-        """
-        blocked = set(falsified)
-        beta: list[int] = []
-        for index in blocked:
-            beta.extend(wcnf.soft[index].lits)
-        successor = WCNF()
-        successor._num_vars = wcnf.num_vars
-        for clause in wcnf.hard:
-            successor.add_hard(clause)
-        successor.add_hard(beta)
-        for index, soft in enumerate(wcnf.soft):
-            if index not in blocked:
-                successor.add_soft(list(soft.lits), weight=soft.weight, label=soft.label)
-        return successor

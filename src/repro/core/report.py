@@ -40,6 +40,7 @@ class LocalizationReport:
     trace_variables: int = 0
     trace_clauses: int = 0
     maxsat_calls: int = 0
+    sat_calls: int = 0
     time_seconds: float = 0.0
 
     @property

@@ -22,6 +22,12 @@ class TotalizerEncoding:
 
     Clauses are emitted through the ``add_clause`` callback so the encoding
     can target either a :class:`repro.sat.Solver` or a :class:`WCNF`.
+
+    The encoding is *incremental*: :meth:`extend` grows an existing network
+    with additional input literals by building a subtree for the new inputs
+    and merging it once with the current root, instead of re-encoding the
+    whole cardinality network.  An empty initial input list is allowed, so
+    core-guided engines can start from nothing and grow per discovered core.
     """
 
     def __init__(
@@ -36,6 +42,25 @@ class TotalizerEncoding:
         self._both = both_directions
         self.inputs = list(inputs)
         self.outputs = self._build(self.inputs)
+
+    def extend(self, new_inputs: Sequence[int]) -> None:
+        """Grow the totalizer with more input literals.
+
+        Builds a subtree over ``new_inputs`` and merges it with the current
+        root: one merge of size ``len(outputs) + len(new_inputs)`` instead of
+        re-encoding the whole network each core iteration.  Previously
+        emitted clauses and output variables stay valid; ``outputs`` is
+        replaced by the merged root's outputs.
+        """
+        added = list(new_inputs)
+        if not added:
+            return
+        subtree = self._build(added)
+        if not self.inputs:
+            self.outputs = subtree
+        else:
+            self.outputs = self._merge(self.outputs, subtree)
+        self.inputs.extend(added)
 
     def _build(self, lits: list[int]) -> list[int]:
         if len(lits) <= 1:

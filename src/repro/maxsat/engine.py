@@ -5,17 +5,28 @@ incremental :class:`repro.sat.Solver`:
 
 * a unit soft clause ``[l]`` is assumed directly through ``l``;
 * a longer soft clause ``c`` receives a fresh selector ``s`` and the hard
-  clause ``c or not s``, and is assumed through ``s``.
+  clause ``c or not s``, and is assumed through ``s``;
+* identical soft clauses share one binding (and therefore one assumption),
+  so duplicates always get the same violation indicator.
 
 Assuming the literal enforces the soft clause; the literal's negation acts
 as the clause's *violation indicator* for cardinality constraints.  Cores
 returned by the SAT solver are subsets of the assumed literals and map back
-to soft-clause indices.
+to soft-clause bindings.
+
+Engines are **incremental**: :meth:`MaxSatEngine.load` builds the solver
+once, :meth:`MaxSatEngine.solve_current` runs the engine's strategy on the
+live solver (reusing its clause database, learnt clauses, variable
+activities and saved phases), and :meth:`MaxSatEngine.block` retires a
+correction set by adding its blocking clause as a hard clause on the *same*
+solver — the CoMSS enumeration of Algorithm 1 never rebuilds the instance.
+The one-shot :meth:`MaxSatEngine.solve` remains as ``load`` + ``solve_current``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.maxsat.result import MaxSatResult
 from repro.maxsat.wcnf import WCNF
@@ -24,61 +35,165 @@ from repro.sat import Solver
 
 @dataclass
 class _SoftBinding:
-    """Book-keeping tying one soft clause to its assumption literal."""
+    """Book-keeping tying one distinct soft clause to its assumption literal.
 
-    index: int
+    ``indices`` lists every ``wcnf.soft`` position the binding stands for
+    (more than one when the instance contains duplicate soft clauses) and
+    ``weight`` is their summed weight.  ``position`` is the binding's index
+    in the engine's binding list, which is what cores and hitting sets are
+    expressed over.
+    """
+
+    position: int
+    indices: list[int]
     assumption: int
     weight: int
+    active: bool = True
 
 
 class MaxSatEngine:
-    """Base class: instance set-up, model evaluation, result construction."""
+    """Base class: persistent instance state, model evaluation, results."""
 
     def __init__(self) -> None:
         self.sat_calls = 0
+        self._wcnf: Optional[WCNF] = None
+        self._solver: Optional[Solver] = None
+        self._bindings: list[_SoftBinding] = []
+        self._assumption_to_binding: dict[int, _SoftBinding] = {}
+        self._hard_checked = False
+        self._hard_ok = False
 
     # -- interface -----------------------------------------------------------
 
-    def solve(self, wcnf: WCNF) -> MaxSatResult:  # pragma: no cover - abstract
+    def solve(self, wcnf: WCNF) -> MaxSatResult:
+        """One-shot solve: load the instance and run the engine's strategy."""
+        self.load(wcnf)
+        return self.solve_current()
+
+    def solve_current(self) -> MaxSatResult:  # pragma: no cover - abstract
+        """Solve the currently loaded (possibly blocked) instance."""
         raise NotImplementedError
 
-    # -- shared helpers ------------------------------------------------------
+    def load(self, wcnf: WCNF) -> None:
+        """Load the instance into a fresh persistent solver and bind softs.
 
-    def _setup(self, wcnf: WCNF) -> tuple[Solver, list[_SoftBinding], dict[int, int]]:
-        """Load the instance into a fresh solver and bind soft clauses."""
+        Identical soft clauses are deduplicated into a single binding so
+        both copies share one assumption literal (and hence one consistent
+        violation indicator).
+        """
         solver = Solver()
         solver.ensure_vars(wcnf.num_vars)
         for clause in wcnf.hard:
             solver.add_clause(clause)
         bindings: list[_SoftBinding] = []
-        assumption_to_index: dict[int, int] = {}
+        by_clause: dict[tuple[int, ...], _SoftBinding] = {}
         for index, soft in enumerate(wcnf.soft):
+            key = tuple(sorted(soft.lits))
+            existing = by_clause.get(key)
+            if existing is not None:
+                existing.indices.append(index)
+                existing.weight += soft.weight
+                continue
             lits = list(soft.lits)
-            if len(lits) == 1 and lits[0] not in assumption_to_index:
+            if len(lits) == 1:
                 assumption = lits[0]
                 solver.ensure_vars(abs(assumption))
             else:
                 selector = solver.new_var()
                 solver.add_clause(lits + [-selector])
                 assumption = selector
-            assumption_to_index[assumption] = index
-            bindings.append(_SoftBinding(index, assumption, soft.weight))
-        return solver, bindings, assumption_to_index
+            binding = _SoftBinding(len(bindings), [index], assumption, soft.weight)
+            by_clause[key] = binding
+            bindings.append(binding)
+        self._wcnf = wcnf
+        self._solver = solver
+        self._bindings = bindings
+        self._assumption_to_binding = {b.assumption: b for b in bindings}
+        self._hard_checked = False
+        self._hard_ok = False
+        self._on_load()
 
-    def _solve(self, solver: Solver, assumptions: list[int]) -> bool:
+    def block(self, falsified: Sequence[int], retire: bool = True) -> None:
+        """Block a correction set with a hard clause on the live solver.
+
+        The blocking clause ``beta`` (the disjunction of the correction
+        set's soft clauses) becomes hard — on the same solver, so learnt
+        clauses, activities and phases carry over to the next
+        :meth:`solve_current`.  With ``retire=True`` (lines 13-14 of
+        Algorithm 1) the blocked soft clauses also leave the soft set, so
+        later solves explore different statements; with ``retire=False``
+        they stay soft, which enumerates *all* correction sets in order of
+        non-decreasing cost.
+        """
+        if self._solver is None:
+            raise RuntimeError("no instance loaded; call load() first")
+        if not falsified:
+            # An empty blocking clause would make the solver permanently
+            # unsatisfiable; an empty correction set means "nothing to block".
+            raise ValueError("cannot block an empty correction set")
+        blocked = set(falsified)
+        beta: list[int] = []
+        for index in sorted(blocked):
+            beta.extend(self._wcnf.soft[index].lits)
+        self._solver.add_clause(beta)
+        if not retire:
+            return
+        retired: list[_SoftBinding] = []
+        for binding in self._bindings:
+            if binding.active and blocked.intersection(binding.indices):
+                binding.active = False
+                retired.append(binding)
+        self._on_block(retired)
+
+    # -- engine hooks --------------------------------------------------------
+
+    def _on_load(self) -> None:
+        """Reset engine-specific state after a new instance is loaded."""
+
+    def _on_block(self, retired: list[_SoftBinding]) -> None:
+        """React to soft clauses being retired by :meth:`block`."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _active_bindings(self) -> list[_SoftBinding]:
+        return [binding for binding in self._bindings if binding.active]
+
+    def _solve(self, assumptions: list[int]) -> bool:
         self.sat_calls += 1
-        return solver.solve(assumptions)
+        return self._solver.solve(assumptions)
 
-    def _hard_clauses_satisfiable(self, solver: Solver) -> bool:
-        return self._solve(solver, [])
+    def _hard_clauses_satisfiable(self) -> bool:
+        """SAT-check the hard clauses alone, once per loaded instance.
 
-    def _result_from_model(self, wcnf: WCNF, solver: Solver) -> MaxSatResult:
-        model = solver.get_model()
-        falsified = [
-            index
-            for index, soft in enumerate(wcnf.soft)
-            if not clause_satisfied(soft.lits, model)
-        ]
+        Blocking clauses added later can only make the hard set unsatisfiable
+        in ways the engines' core analysis already detects, so the check is
+        not repeated after :meth:`block`.
+        """
+        if not self._hard_checked:
+            self._hard_ok = self._solve([])
+            self._hard_checked = True
+        return self._hard_ok
+
+    def _result_from_model(self) -> MaxSatResult:
+        wcnf = self._wcnf
+        # The partial model: don't-care variables stay absent so the
+        # per-clause completion below can pick the favourable value.
+        model = self._solver.get_model()
+        falsified: list[int] = []
+        for binding in self._bindings:
+            if not binding.active:
+                continue
+            lits = wcnf.soft[binding.indices[0]].lits
+            status = evaluate_clause(lits, model)
+            if status is True:
+                continue
+            if status is False:
+                falsified.extend(binding.indices)
+                continue
+            # A don't-care literal: complete the model in the clause's
+            # favour instead of over-counting the cost.
+            model[abs(status)] = status > 0
+        falsified.sort()
         cost = sum(wcnf.soft[index].weight for index in falsified)
         labels = [
             wcnf.soft[index].label
@@ -98,14 +213,34 @@ class MaxSatEngine:
         return MaxSatResult(satisfiable=False, sat_calls=self.sat_calls)
 
 
-def clause_satisfied(lits: tuple[int, ...] | list[int], model: dict[int, bool]) -> bool:
-    """Evaluate a clause under a (possibly partial) model.
+def evaluate_clause(
+    lits: tuple[int, ...] | list[int], model: dict[int, bool]
+) -> bool | int:
+    """Three-valued clause evaluation under a possibly partial model.
 
-    Unassigned variables are treated as false, matching the convention that
-    the SAT solver only leaves don't-care variables unassigned.
+    Returns ``True`` when some literal is satisfied, ``False`` when every
+    literal is falsified, and otherwise one of the *unassigned* literals —
+    the clause is then a don't-care that any completion may still satisfy.
+    """
+    unassigned: int = 0
+    for lit in lits:
+        value = model.get(abs(lit))
+        if value is None:
+            unassigned = lit
+        elif value == (lit > 0):
+            return True
+    return unassigned if unassigned else False
+
+
+def clause_satisfied(
+    lits: tuple[int, ...] | list[int], model: dict[int, bool]
+) -> bool:
+    """Evaluate a clause under a *complete* model.
+
+    For partial models prefer :func:`evaluate_clause`, which reports
+    don't-care literals instead of silently treating them as falsified.
     """
     for lit in lits:
-        value = model.get(abs(lit), False)
-        if value == (lit > 0):
+        if model.get(abs(lit), False) == (lit > 0):
             return True
     return False

@@ -19,37 +19,71 @@ from typing import Sequence
 
 from repro.maxsat.engine import MaxSatEngine
 from repro.maxsat.result import MaxSatResult
-from repro.maxsat.wcnf import WCNF
 
 
 class HittingSetMaxSat(MaxSatEngine):
-    """Exact weighted partial MaxSAT via implicit hitting sets."""
+    """Exact weighted partial MaxSAT via implicit hitting sets.
+
+    The engine is incremental across :meth:`block` calls: cores collected in
+    earlier CoMSS iterations stay valid (blocking only *adds* hard clauses)
+    and keep seeding the hitting-set oracle.  Cores touching a retired soft
+    clause are strengthened when the blocking clause root-forces that
+    clause's assumption (singleton CoMSSes) and dropped otherwise.
+    """
 
     def __init__(self, max_iterations: int = 100000) -> None:
         super().__init__()
         self.max_iterations = max_iterations
         self.cores: list[frozenset[int]] = []
 
-    def solve(self, wcnf: WCNF) -> MaxSatResult:
-        solver, bindings, assumption_to_index = self._setup(wcnf)
-        if not self._hard_clauses_satisfiable(solver):
-            return self._unsatisfiable_result()
-        weights = [binding.weight for binding in bindings]
+    def _on_load(self) -> None:
         self.cores = []
+
+    def _on_block(self, retired) -> None:
+        # A blocked *singleton* CoMSS adds a unit blocking clause, fixing the
+        # retired clause's assumption true at the root.  A core containing
+        # such a binding is then *strengthened*, not invalidated: from
+        # ``hard and a and rest`` UNSAT and ``hard forces a`` follows
+        # ``hard and rest`` UNSAT, so the binding is simply removed from the
+        # core.  Retirees that are not root-forced (multi-clause CoMSSes)
+        # genuinely invalidate their cores, which are dropped — the SAT
+        # oracle re-derives whatever conflict remains.
+        forced = {
+            binding.position
+            for binding in retired
+            if self._solver.root_value(binding.assumption) is True
+        }
+        free = {binding.position for binding in retired} - forced
+        strengthened: list[frozenset[int]] = []
+        for core in self.cores:
+            if core & free:
+                continue
+            reduced = core - forced
+            if reduced:
+                # An empty reduction would mean the hard clauses are already
+                # unsatisfiable; the next SAT call reports that directly.
+                strengthened.append(reduced)
+        self.cores = strengthened
+
+    def solve_current(self) -> MaxSatResult:
+        if not self._hard_clauses_satisfiable():
+            return self._unsatisfiable_result()
+        active = self._active_bindings()
+        weights = [binding.weight for binding in self._bindings]
         for _ in range(self.max_iterations):
             hitting_set = minimum_cost_hitting_set(self.cores, weights)
             assumptions = [
                 binding.assumption
-                for binding in bindings
-                if binding.index not in hitting_set
+                for binding in active
+                if binding.position not in hitting_set
             ]
-            if self._solve(solver, assumptions):
-                return self._result_from_model(wcnf, solver)
-            core_lits = solver.unsat_core()
+            if self._solve(assumptions):
+                return self._result_from_model()
             core = frozenset(
-                assumption_to_index[lit]
-                for lit in core_lits
-                if lit in assumption_to_index
+                self._assumption_to_binding[lit].position
+                for lit in self._solver.unsat_core()
+                if lit in self._assumption_to_binding
+                and self._assumption_to_binding[lit].active
             )
             if not core:
                 # The conflict does not involve any soft clause: the hard

@@ -5,7 +5,11 @@ indicators bounds how many may be falsified.  The bound is increased from 0
 until the instance becomes satisfiable — the first satisfiable bound is the
 optimum.  This is the simplest complete strategy and serves both as a
 cross-check for the other engines and as the baseline in the ablation
-benchmarks.
+benchmarks.  Unlike the core-guided engines it re-encodes its totalizer on
+every :meth:`solve_current` (the set of still-active soft clauses changes
+after each :meth:`~repro.maxsat.engine.MaxSatEngine.block`), which is part
+of what the ablation measures; the underlying solver and its learnt clauses
+are still reused.
 """
 
 from __future__ import annotations
@@ -13,31 +17,36 @@ from __future__ import annotations
 from repro.maxsat.cardinality import TotalizerEncoding
 from repro.maxsat.engine import MaxSatEngine
 from repro.maxsat.result import MaxSatResult
-from repro.maxsat.wcnf import WCNF
 
 
 class LinearSearchMaxSat(MaxSatEngine):
     """UNSAT-to-SAT linear search engine for unweighted partial MaxSAT."""
 
-    def solve(self, wcnf: WCNF) -> MaxSatResult:
-        if wcnf.is_weighted():
+    def solve_current(self) -> MaxSatResult:
+        if self._wcnf.is_weighted():
             raise ValueError(
                 "linear-search engine only supports unweighted soft clauses; "
                 "use HittingSetMaxSat for weighted instances"
             )
-        solver, bindings, _ = self._setup(wcnf)
-        if not self._hard_clauses_satisfiable(solver):
+        if not self._hard_clauses_satisfiable():
             return self._unsatisfiable_result()
-        if not bindings:
-            return self._result_from_model(wcnf, solver)
-        indicators = [-binding.assumption for binding in bindings]
+        active = self._active_bindings()
+        if not active:
+            if not self._solve([]):
+                return self._unsatisfiable_result()
+            return self._result_from_model()
+        indicators: list[int] = []
+        for binding in active:
+            # One indicator per unit of weight: a deduplicated binding for n
+            # identical soft clauses counts n towards the bound.
+            indicators.extend([-binding.assumption] * binding.weight)
         totalizer = TotalizerEncoding(
             indicators,
-            new_var=solver.new_var,
-            add_clause=solver.add_clause,
+            new_var=self._solver.new_var,
+            add_clause=self._solver.add_clause,
             both_directions=False,
         )
-        for bound in range(len(bindings) + 1):
-            if self._solve(solver, totalizer.at_most(bound)):
-                return self._result_from_model(wcnf, solver)
+        for bound in range(len(indicators) + 1):
+            if self._solve(totalizer.at_most(bound)):
+                return self._result_from_model()
         return self._unsatisfiable_result()

@@ -6,13 +6,18 @@ adding a hard *blocking clause* over the selectors of each reported set
 loop over arbitrary WCNF instances: correction sets are produced in order of
 non-decreasing cost, and each is blocked by requiring at least one of its
 soft clauses to be satisfied in later iterations.
+
+The loop is incremental: one engine (and one underlying SAT solver) is
+loaded once, and each blocking clause is added to the live solver through
+:meth:`~repro.maxsat.engine.MaxSatEngine.block`, so learnt clauses and
+solver heuristics carry over between correction sets.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-from repro.maxsat.facade import solve_maxsat
+from repro.maxsat.facade import make_engine
 from repro.maxsat.result import MaxSatResult
 from repro.maxsat.wcnf import WCNF
 
@@ -30,11 +35,12 @@ def enumerate_mcses(
     (the residual MaxSAT instance falsifies nothing new), or after
     ``max_count`` results.
     """
-    working = wcnf.copy()
+    engine = make_engine("hitting-set" if strategy == "auto" else strategy)
+    engine.load(wcnf)
     produced = 0
     seen: set[frozenset[int]] = set()
     while max_count is None or produced < max_count:
-        result = solve_maxsat(working, strategy=strategy)
+        result = engine.solve_current()
         if not result.satisfiable:
             return
         if not result.falsified:
@@ -47,9 +53,6 @@ def enumerate_mcses(
         seen.add(key)
         yield result
         produced += 1
-        blocking: list[int] = []
-        for index in result.falsified:
-            blocking.extend(working.soft[index].lits)
-        # Require at least one clause of the reported correction set to hold
-        # from now on, which excludes exactly this correction set.
-        working.add_hard(blocking)
+        # Keep the blocked clauses soft (unlike Algorithm 1's localization
+        # loop): enumeration wants every correction set, in cost order.
+        engine.block(result.falsified, retire=False)

@@ -6,8 +6,17 @@ unsatisfiable sub-formula by associating a relaxation variable with each
 such clause; cardinality constraints are used to constrain the number of
 relaxed clauses" (Section 3.3).
 
+The cardinality network over the relaxed clauses' violation indicators is
+grown *incrementally*: each newly discovered core extends the existing
+:class:`~repro.maxsat.cardinality.TotalizerEncoding` with the fresh
+indicators (one subtree merge) instead of re-encoding the whole network on
+every core iteration.
+
 The engine handles *unweighted* partial MaxSAT (every soft clause weight 1);
-for weighted instances use :class:`repro.maxsat.HittingSetMaxSat`.
+for weighted instances use :class:`repro.maxsat.HittingSetMaxSat`.  A
+deduplicated binding standing for several identical soft clauses carries
+their summed weight and is entered into the totalizer once per unit of
+weight, so the bound still counts falsified clauses exactly.
 """
 
 from __future__ import annotations
@@ -15,58 +24,61 @@ from __future__ import annotations
 from repro.maxsat.cardinality import TotalizerEncoding
 from repro.maxsat.engine import MaxSatEngine
 from repro.maxsat.result import MaxSatResult
-from repro.maxsat.wcnf import WCNF
 
 
 class Msu3MaxSat(MaxSatEngine):
     """Core-guided (MSU3) engine for unweighted partial MaxSAT."""
 
-    def solve(self, wcnf: WCNF) -> MaxSatResult:
-        if wcnf.is_weighted():
+    def solve_current(self) -> MaxSatResult:
+        if self._wcnf.is_weighted():
             raise ValueError(
                 "MSU3 engine only supports unweighted soft clauses; "
                 "use HittingSetMaxSat for weighted instances"
             )
-        solver, bindings, assumption_to_index = self._setup(wcnf)
-        if not self._hard_clauses_satisfiable(solver):
+        if not self._hard_clauses_satisfiable():
             return self._unsatisfiable_result()
-
+        solver = self._solver
+        active = self._active_bindings()
         relaxed: set[int] = set()
         bound = 0
-        totalizer: TotalizerEncoding | None = None
-        assumption_of = {binding.index: binding.assumption for binding in bindings}
+        max_bound = sum(binding.weight for binding in active)
+        totalizer = TotalizerEncoding(
+            [],
+            new_var=solver.new_var,
+            add_clause=solver.add_clause,
+            both_directions=False,
+        )
 
         while True:
             assumptions = [
-                assumption_of[binding.index]
-                for binding in bindings
-                if binding.index not in relaxed
+                binding.assumption
+                for binding in active
+                if binding.position not in relaxed
             ]
-            if totalizer is not None:
-                assumptions.extend(totalizer.at_most(bound))
-            if self._solve(solver, assumptions):
-                return self._result_from_model(wcnf, solver)
+            bound_lits = totalizer.at_most(bound)
+            assumptions.extend(bound_lits)
+            if self._solve(assumptions):
+                return self._result_from_model()
 
             core_lits = solver.unsat_core()
             newly_relaxed = {
-                assumption_to_index[lit]
+                binding.position: binding
                 for lit in core_lits
-                if lit in assumption_to_index and assumption_to_index[lit] not in relaxed
+                for binding in (self._assumption_to_binding.get(lit),)
+                if binding is not None
+                and binding.active
+                and binding.position not in relaxed
             }
-            if not newly_relaxed and not any(
-                lit in assumption_to_index for lit in core_lits
-            ) and totalizer is None:
-                # Core involves neither soft clauses nor the cardinality bound.
+            involves_bound = any(lit in bound_lits for lit in core_lits)
+            if not newly_relaxed and not involves_bound:
+                # The core involves neither soft clauses nor the cardinality
+                # bound: the hard clauses alone are inconsistent.
                 return self._unsatisfiable_result()
-            if bound >= len(bindings):
+            if bound >= max_bound:
                 return self._unsatisfiable_result()
-            relaxed |= newly_relaxed
+            for binding in newly_relaxed.values():
+                relaxed.add(binding.position)
+                # One indicator per unit of weight keeps the bound counting
+                # falsified clauses even for deduplicated duplicates.
+                totalizer.extend([-binding.assumption] * binding.weight)
             bound += 1
-            if relaxed:
-                indicators = [-assumption_of[index] for index in sorted(relaxed)]
-                totalizer = TotalizerEncoding(
-                    indicators,
-                    new_var=solver.new_var,
-                    add_clause=solver.add_clause,
-                    both_directions=False,
-                )

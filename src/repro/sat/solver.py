@@ -15,6 +15,12 @@ the reproduction:
   assumptions, :meth:`Solver.unsat_core` returns a subset of the assumptions
   that is already contradictory.  The core-guided MaxSAT algorithms
   (Fu–Malik, MSU3) are built directly on this facility.
+* **Clause-database retention.**  :meth:`Solver.add_clause` may be called
+  again after any number of :meth:`Solver.solve` calls (solving always
+  returns to decision level 0): problem clauses, learnt clauses, variable
+  activities and saved phases all persist, so the MaxSAT layer can block a
+  correction set with a new hard clause and re-solve incrementally instead
+  of rebuilding the instance from scratch.
 
 Literals use the DIMACS convention (non-zero signed integers) at the API
 boundary and a packed even/odd encoding internally.
@@ -229,15 +235,39 @@ class Solver:
         truth = value == _TRUE
         return truth if lit > 0 else not truth
 
-    def get_model(self) -> dict[int, bool]:
-        """Return the last model as a ``{var: bool}`` dictionary."""
+    def get_model(self, complete: bool = False) -> dict[int, bool]:
+        """Return the last model as a ``{var: bool}`` dictionary.
+
+        With ``complete=True`` variables the search left unassigned (don't
+        cares, or variables allocated after the solve) take their saved
+        phase instead of being omitted, yielding a total assignment.
+        """
         if self._model is None:
             raise RuntimeError("no model available; last solve was UNSAT or never ran")
-        return {
-            var: self._model[var] == _TRUE
-            for var in range(1, self._num_vars + 1)
-            if self._model[var] != _UNDEF
-        }
+        model: dict[int, bool] = {}
+        for var in range(1, self._num_vars + 1):
+            value = self._model[var] if var < len(self._model) else _UNDEF
+            if value != _UNDEF:
+                model[var] = value == _TRUE
+            elif complete:
+                model[var] = self._polarity[var]
+        return model
+
+    def root_value(self, lit: int) -> Optional[bool]:
+        """Value of a literal fixed at decision level 0, or ``None``.
+
+        Unlike :meth:`model_value` this does not depend on the last solve:
+        it reports only permanent consequences of the clause database (unit
+        clauses and their propagations).
+        """
+        var = lit if lit > 0 else -lit
+        if var > self._num_vars:
+            return None
+        assign = self._assigns[var]
+        if assign == _UNDEF or self._level[var] != 0:
+            return None
+        truth = assign == _TRUE
+        return truth if lit > 0 else not truth
 
     def unsat_core(self) -> list[int]:
         """Subset of the assumptions that is unsatisfiable with the clauses."""
@@ -279,12 +309,24 @@ class Solver:
         return True
 
     def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or ``None``."""
+        """Unit propagation; returns a conflicting clause or ``None``.
+
+        This is the solver's hottest loop: literal evaluation is inlined
+        (``assigns[var] ^ (lit & 1)`` instead of :meth:`_lit_value` calls)
+        and the trail/watch structures are bound to locals.
+        """
         watches = self._watches
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
+        assigns = self._assigns
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        current_level = len(self._trail_lim)
+        qhead = self._qhead
+        propagated = 0
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            propagated += 1
             false_lit = p ^ 1
             old_watchers = watches[false_lit]
             watches[false_lit] = []
@@ -297,24 +339,36 @@ class Solver:
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._lit_value(first) == _TRUE:
+                first_assign = assigns[first >> 1]
+                if first_assign != _UNDEF and first_assign ^ (first & 1) == _TRUE:
                     keep.append(clause)
                     continue
                 found_watch = False
                 for k in range(2, len(clause)):
-                    if self._lit_value(clause[k]) != _FALSE:
+                    lit = clause[k]
+                    value = assigns[lit >> 1]
+                    if value == _UNDEF or value ^ (lit & 1) != _FALSE:
                         clause[1], clause[k] = clause[k], clause[1]
-                        watches[clause[1]].append(clause)
+                        watches[lit].append(clause)
                         found_watch = True
                         break
                 if found_watch:
                     continue
                 keep.append(clause)
-                if self._lit_value(first) == _FALSE:
+                if first_assign != _UNDEF:
+                    # first is falsified: conflict.
                     keep.extend(old_watchers[index:])
-                    self._qhead = len(self._trail)
+                    self._qhead = len(trail)
+                    self.stats.propagations += propagated
                     return clause
-                self._enqueue(first, clause)
+                # Inlined _enqueue: first is known to be unassigned here.
+                var = first >> 1
+                assigns[var] = (first & 1) ^ 1
+                level[var] = current_level
+                reason[var] = clause
+                trail.append(first)
+        self._qhead = qhead
+        self.stats.propagations += propagated
         return None
 
     def _new_decision_level(self) -> None:
@@ -327,16 +381,21 @@ class Solver:
         if self._decision_level() <= level:
             return
         bound = self._trail_lim[level]
-        for index in range(len(self._trail) - 1, bound - 1, -1):
-            ilit = self._trail[index]
+        trail = self._trail
+        assigns = self._assigns
+        polarity = self._polarity
+        reason = self._reason
+        order_insert = self._order.insert
+        for index in range(len(trail) - 1, bound - 1, -1):
+            ilit = trail[index]
             var = ilit >> 1
-            self._assigns[var] = _UNDEF
-            self._polarity[var] = (ilit & 1) == 0
-            self._reason[var] = None
-            self._order.insert(var)
-        del self._trail[bound:]
+            assigns[var] = _UNDEF
+            polarity[var] = (ilit & 1) == 0
+            reason[var] = None
+            order_insert(var)
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = len(trail)
 
     def _var_bump(self, var: int) -> None:
         self._activity[var] += self._var_inc
@@ -551,7 +610,14 @@ class Solver:
                 restart_index += 1
                 conflict_budget = 100 * self._luby(restart_index)
                 conflicts_since_restart = 0
-                self._cancel_until(0)
+                # Assumption-aware restart: keep the established assumption
+                # levels and their propagations, undoing only the free
+                # decisions above them.  The assumption prefix would be
+                # re-decided in the same order anyway, and on trace formulas
+                # it forces most of the circuit — restarting to level 0
+                # would re-propagate tens of thousands of literals per
+                # restart.
+                self._cancel_until(min(self._decision_level(), len(assumptions)))
                 continue
 
             if len(self._learnts) >= max_learnts + len(self._trail):

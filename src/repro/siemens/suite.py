@@ -141,6 +141,8 @@ class LargeBenchmarkResult:
     clauses_before: int = 0
     clauses_after: int = 0
     fault_candidates: int = 0
+    maxsat_calls: int = 0
+    sat_calls: int = 0
     detected: bool = False
     time_seconds: float = 0.0
 
@@ -195,6 +197,8 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     localizer = BugAssistLocalizer(faulty, mode="trace", max_candidates=max_candidates)
     report = localizer.localize_trace(reduced, program_name=benchmark.name)
     result.fault_candidates = len(report.lines)
+    result.maxsat_calls = report.maxsat_calls
+    result.sat_calls = report.sat_calls
     result.detected = any(line in benchmark.fault_lines for line in report.lines)
     result.time_seconds = time.perf_counter() - started
     return result

@@ -1,0 +1,38 @@
+"""Shared pytest configuration: the ``slow`` marker and ``--runslow`` gate.
+
+The Table 3 benchmark tests localize multi-hundred-thousand-clause trace
+formulas with a pure-Python CDCL solver; they are correctness-critical but
+too slow for the tier-1 loop.  They carry ``@pytest.mark.slow`` and only run
+when ``--runslow`` is given — fast smoke variants cover the same code paths
+in every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (the full Table 3 benchmark protocol)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: slow benchmark-scale test; needs --runslow to run"
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -16,7 +16,7 @@ from repro.maxsat import (
     make_engine,
     solve_maxsat,
 )
-from repro.maxsat.engine import clause_satisfied
+from repro.maxsat.engine import clause_satisfied, evaluate_clause
 from repro.maxsat.hitting_set import minimum_cost_hitting_set
 
 ENGINES = ["hitting-set", "msu3", "linear"]
@@ -183,6 +183,144 @@ class TestEngines:
         assert result.cost == 1
         assert set(result.falsified_labels) <= {"line-1", "line-2"}
         assert {group_a, group_b} == {wcnf.soft[0].lits[0], wcnf.soft[1].lits[0]}
+
+
+class TestDuplicateSoftClauses:
+    """Duplicate soft clauses must share one assumption (one indicator)."""
+
+    def test_duplicates_share_one_binding(self):
+        wcnf = WCNF()
+        wcnf.add_soft([1])
+        wcnf.add_soft([1])
+        wcnf.add_soft([1, 2])
+        engine = HittingSetMaxSat()
+        engine.load(wcnf)
+        assert len(engine._bindings) == 2
+        assert engine._bindings[0].indices == [0, 1]
+        assert engine._bindings[0].weight == 2
+        assert engine._bindings[0].assumption == 1
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_duplicate_unit_softs_fall_together(self, strategy):
+        wcnf = WCNF()
+        wcnf.add_hard([-1])
+        wcnf.add_soft([1], label="first")
+        wcnf.add_soft([1], label="second")
+        result = solve_maxsat(wcnf, strategy=strategy)
+        assert result.satisfiable
+        assert result.cost == 2
+        assert result.falsified == [0, 1]
+        assert set(result.falsified_labels) == {"first", "second"}
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_duplicates_count_fully_towards_the_optimum(self, strategy):
+        # Falsifying the duplicated clause costs 2, so the optimum falsifies
+        # the single clause [2] instead; an engine whose cardinality bound
+        # counted the merged binding once would get this wrong.
+        wcnf = WCNF()
+        wcnf.add_hard([-1, -2])
+        wcnf.add_soft([1])
+        wcnf.add_soft([1])
+        wcnf.add_soft([2])
+        result = solve_maxsat(wcnf, strategy=strategy)
+        assert result.cost == 1 == brute_force_optimum(wcnf)
+        assert result.falsified == [2]
+
+
+class TestModelCompletion:
+    def test_evaluate_clause_reports_dont_care_literal(self):
+        assert evaluate_clause([2], {1: True}) == 2
+        assert evaluate_clause([-2], {1: True}) == -2
+        assert evaluate_clause([2], {2: False}) is False
+        assert evaluate_clause([2, 1], {2: False, 1: True}) is True
+
+    def test_dont_care_soft_variable_not_counted(self, monkeypatch):
+        # Variable 3 occurs only in the soft clause.  Simulate a solver that
+        # left it unassigned: the cost must not be over-counted — the model
+        # is completed in the clause's favour instead.
+        wcnf = WCNF()
+        wcnf.add_hard([1])
+        wcnf.add_soft([3], label="dont-care")
+        engine = HittingSetMaxSat()
+        engine.load(wcnf)
+        assert engine.solve_current().cost == 0
+        monkeypatch.setattr(
+            engine._solver, "get_model", lambda complete=False: {1: True}
+        )
+        result = engine._result_from_model()
+        assert result.cost == 0
+        assert result.falsified == []
+        assert result.model[3] is True
+
+
+class TestIncrementalEngine:
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_block_retires_softs_on_the_live_solver(self, strategy):
+        wcnf = WCNF()
+        wcnf.add_hard([-1, -2])
+        wcnf.add_hard([-2, -3])
+        for var in (1, 2, 3):
+            wcnf.add_soft([var], label=f"x{var}")
+        engine = make_engine(strategy)
+        engine.load(wcnf)
+        first = engine.solve_current()
+        assert first.cost == 1
+        assert first.falsified == [1]  # x2 conflicts with both neighbours
+        engine.block(first.falsified)
+        second = engine.solve_current()
+        # x2 is now hard-on, so both x1 and x3 must fall.
+        assert second.cost == 2
+        assert second.falsified == [0, 2]
+        engine.block(second.falsified)
+        # No soft clauses remain and the blocking clauses contradict the
+        # hard clauses: no further correction set exists.
+        third = engine.solve_current()
+        assert not third.satisfiable
+
+    @pytest.mark.parametrize("strategy", ENGINES)
+    def test_incremental_matches_one_shot_rebuild(self, strategy):
+        wcnf = WCNF()
+        wcnf.add_hard([-1, -2])
+        wcnf.add_hard([-3, -4])
+        for var in (1, 2, 3, 4):
+            wcnf.add_soft([var])
+        engine = make_engine(strategy)
+        engine.load(wcnf)
+        blocked_sets: list[set[int]] = []
+        for _ in range(4):
+            # Mirror the engine's blocked state on a freshly built WCNF
+            # (beta clauses hardened, blocked softs removed) and compare.
+            rebuilt = WCNF()
+            rebuilt._num_vars = wcnf.num_vars
+            for clause in wcnf.hard:
+                rebuilt.add_hard(clause)
+            retired: set[int] = set().union(*blocked_sets) if blocked_sets else set()
+            for blocked in blocked_sets:
+                rebuilt.add_hard(
+                    [lit for index in sorted(blocked) for lit in wcnf.soft[index].lits]
+                )
+            for index, soft in enumerate(wcnf.soft):
+                if index not in retired:
+                    rebuilt.add_soft(
+                        list(soft.lits), weight=soft.weight, label=soft.label
+                    )
+            one_shot = solve_maxsat(rebuilt, strategy=strategy)
+            incremental = engine.solve_current()
+            assert incremental.satisfiable == one_shot.satisfiable
+            if not incremental.satisfiable or not incremental.falsified:
+                break
+            assert incremental.cost == one_shot.cost
+            blocked_sets.append(set(incremental.falsified))
+            engine.block(incremental.falsified)
+
+    def test_sat_calls_accumulate_across_solves(self):
+        engine = HittingSetMaxSat()
+        engine.load(simple_instance())
+        first = engine.solve_current()
+        engine.block(first.falsified)
+        second = engine.solve_current()
+        assert second.sat_calls > first.sat_calls
+        assert engine.sat_calls == second.sat_calls
 
 
 class TestHittingSet:

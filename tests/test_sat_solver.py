@@ -98,6 +98,65 @@ class TestBasics:
         assert not solver.solve()
 
 
+class TestClauseRetention:
+    """The incremental MaxSAT loop adds blocking clauses between solves."""
+
+    def test_add_clause_after_assumption_solve(self):
+        solver = Solver()
+        solver.ensure_vars(3)
+        solver.add_clause([1, 2])
+        assert solver.solve([-1])
+        assert solver.model_value(2) is True
+        # Growing the clause database after solving under assumptions must
+        # work and be respected by later solves.
+        solver.add_clause([-2, 3])
+        assert solver.solve([-1])
+        assert solver.model_value(3) is True
+        assert not solver.solve([-1, -2])
+        assert set(solver.unsat_core()) <= {-1, -2}
+
+    def test_learnt_clauses_persist_across_solves(self):
+        solver = Solver()
+        # A small pigeonhole-style instance that forces some learning.
+        for first in range(1, 4):
+            solver.add_clause([2 * first - 1, 2 * first])
+        for hole in (0, 1):
+            for first in range(1, 4):
+                for second in range(first + 1, 4):
+                    solver.add_clause([-(2 * first - hole), -(2 * second - hole)])
+        assert not solver.solve()
+        conflicts = solver.stats.conflicts
+        assert conflicts > 0
+        # A permanently UNSAT solver keeps answering without re-searching:
+        # everything derived in the first run is retained.
+        assert not solver.solve()
+        assert solver.stats.conflicts == conflicts
+
+    def test_blocking_clause_flips_model(self):
+        solver = Solver()
+        solver.ensure_vars(2)
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        model = solver.get_model()
+        blocking = [-lit if model[lit] else lit for lit in (1, 2)]
+        solver.add_clause(blocking)
+        assert solver.solve()
+        flipped = solver.get_model()
+        assert flipped != model
+
+    def test_get_model_complete_fills_unassigned_vars(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.solve()
+        # Variables allocated after the solve are unknown to the model...
+        solver.ensure_vars(3)
+        assert 3 not in solver.get_model()
+        # ...unless a completed model is requested.
+        completed = solver.get_model(complete=True)
+        assert completed[1] is True
+        assert set(completed) == {1, 2, 3}
+
+
 class TestAssumptions:
     def test_sat_under_assumptions(self):
         solver = Solver()

@@ -99,6 +99,7 @@ class TestLargeBenchmarks:
             )
             assert not reference.assertion_failed
 
+    @pytest.mark.slow
     def test_reduction_shrinks_formula(self):
         for benchmark in (TOT_INFO, PRINT_TOKENS):
             row = run_large_benchmark(benchmark, max_candidates=4)
@@ -106,8 +107,26 @@ class TestLargeBenchmarks:
             assert row.variables_after <= row.variables_before
             assert row.fault_candidates >= 1
 
+    def test_reduction_smoke(self):
+        # Fast tier-1 variant of the Table 3 protocol: one CoMSS on the
+        # concolically reduced print_tokens trace exercises the same
+        # reduction + incremental localization pipeline in well under a
+        # second of MaxSAT work.
+        row = run_large_benchmark(PRINT_TOKENS, max_candidates=1)
+        assert row.clauses_after < row.clauses_before
+        assert row.variables_after <= row.variables_before
+        assert row.fault_candidates >= 1
+        assert row.maxsat_calls == 1
+        assert row.sat_calls >= 1
+
+    @pytest.mark.slow
     def test_schedule_delta_debugging(self):
         row = run_large_benchmark(SCHEDULE, max_candidates=4)
+        assert row.reduction == "DS"
+        assert row.fault_candidates >= 1
+
+    def test_schedule_delta_debugging_smoke(self):
+        row = run_large_benchmark(SCHEDULE, max_candidates=1)
         assert row.reduction == "DS"
         assert row.fault_candidates >= 1
 
@@ -121,6 +140,27 @@ class TestReductions:
         settings = sliced_tracer_settings(program)
         # The scratch statistics function is irrelevant to the output.
         assert "scratch_statistics" in settings["concrete_functions"]
+
+    def test_tot_info_slice_contents_pinned(self):
+        # Regression for the slicer over-approximation: every line of
+        # scratch_statistics (49-58) used to land in the slice because all
+        # control statements were marked relevant, which kept the function
+        # symbolic.  Pin the exact slice so coarsening is caught immediately.
+        program = TOT_INFO.faulty_program()
+        relevant = slice_relevant_lines(program)
+        assert relevant == {
+            # fill_table writes the table read by info_statistic
+            5, 6, 7, 8,
+            # info_statistic feeds main's return value (grand on lines 12/22
+            # influences nothing and stays out)
+            13, 14, 15, 16, 17, 18, 19, 20, 23, 25, 26, 27, 28, 29, 30, 31,
+            33, 35, 36, 37, 38, 39, 40, 41, 42, 43, 45, 47,
+            # main: info, the input assumptions, the bounds check and returns
+            61, 63, 64, 65, 66, 68, 70, 71,
+        }
+        # scratch_statistics (49-58) and its call site (69) are irrelevant.
+        assert not relevant & set(range(49, 60))
+        assert 69 not in relevant and 62 not in relevant
 
     def test_concretizable_functions(self):
         program = PRINT_TOKENS.faulty_program()
