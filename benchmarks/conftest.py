@@ -15,6 +15,39 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    # Same gate as tests/conftest.py; guarded because pytest rejects a
+    # duplicate registration when both conftests load (e.g. ``pytest . ``).
+    try:
+        parser.addoption(
+            "--runslow",
+            action="store_true",
+            default=False,
+            help="also run benchmarks marked slow (full protocol runs)",
+        )
+    except ValueError:
+        pass
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: slow benchmark-scale test; needs --runslow to run"
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
 
 def tcas_versions_under_test() -> list[str]:
     from repro.siemens import tcas_versions

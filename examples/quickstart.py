@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: localize and repair the paper's motivating example (Program 1).
 
+The localization API is session-oriented: a
+:class:`~repro.core.session.LocalizationSession` compiles the whole-program
+encoding once and localizes any number of failing tests against it — the
+per-test inputs and specification live in a retractable solver layer, so
+repeated ``localize`` calls (or a whole ``localize_batch``) reuse one
+persistent MaxSAT engine instead of rebuilding the instance.
+
 Run with ``python examples/quickstart.py``.
 """
 
-from repro.core import BugAssistLocalizer, OffByOneRepairer, Specification
+from repro.core import LocalizationSession, OffByOneRepairer, Specification
 from repro.lang import Interpreter, parse_program
 
 SOURCE = """\
@@ -31,16 +38,24 @@ def main() -> None:
     print(f"concrete run with index=1: assertion failed = {run.assertion_failed} "
           f"(line {run.failed_line})")
 
-    # 2. Localize: Algorithm 1 enumerates CoMSSes of the extended trace formula.
-    localizer = BugAssistLocalizer(program)
-    report = localizer.localize_test([1], Specification.assertion())
-    print()
-    print(report.summary())
-    print(f"reported lines: {report.lines}  "
-          f"(size reduction {report.size_reduction_percent(12):.1f}% of 12 lines)")
+    # 2. Localize: the session compiles the program once; Algorithm 1 then
+    #    enumerates CoMSSes of the extended trace formula per failing test.
+    with LocalizationSession(program) as session:
+        report = session.localize([1], Specification.assertion())
+        print()
+        print(report.summary())
+        print(f"reported lines: {report.lines}  "
+              f"(size reduction {report.size_reduction_percent(12):.1f}% of 12 lines)")
+
+        # The compiled encoding is reused for further failing tests — with
+        # several of them, localize_batch ranks the lines by report count
+        # (Section 4.3) and can shard across processes.
+        ranked = session.localize_batch([([1], Specification.assertion())])
+        print(f"ranked lines after {len(ranked.runs)} run(s): {ranked.ranked_lines}")
+        print(f"whole-program encodings built: {session.stats.encodings_built}")
 
     # 3. Repair: Algorithm 2 mutates constants at the reported lines.
-    repairer = OffByOneRepairer(program, localizer=localizer)
+    repairer = OffByOneRepairer(program)
     regressions = [
         ([0], Specification.return_value(30)),
         ([2], Specification.return_value(30)),

@@ -5,7 +5,7 @@ Inhibit_Biased_Climb) using failing tests from the Siemens-style pool.
 Run with ``python examples/tcas_v2_walkthrough.py``.
 """
 
-from repro.core import BugAssistLocalizer, Specification, rank_locations
+from repro.core import LocalizationSession, Specification
 from repro.siemens import classify_tcas_tests, tcas_fault, tcas_faulty_program
 from repro.siemens.suite import TCAS_HARNESS_LINES, tcas_total_lines
 
@@ -19,16 +19,17 @@ def main() -> None:
     failing, passing = classify_tcas_tests(version, count=600)
     print(f"test pool: {len(failing)} failing / {len(passing)} passing tests")
 
-    localizer = BugAssistLocalizer(
-        program, mode="program", hard_lines=TCAS_HARNESS_LINES
-    )
     # Run BugAssist on up to three failing tests and rank the reported lines
-    # by how often they appear (Section 4.3).
+    # by how often they appear (Section 4.3).  The session compiles the
+    # whole-program encoding once and reuses it for every failing test.
     tests = [
         (vector.as_list(), Specification.return_value(expected))
         for vector, expected in failing[:3]
     ]
-    ranked = rank_locations(localizer, tests, program_name=f"tcas-{version}")
+    with LocalizationSession(
+        program, hard_lines=TCAS_HARNESS_LINES
+    ) as session:
+        ranked = session.localize_batch(tests, program_name=f"tcas-{version}")
 
     print()
     print("ranked candidate bug locations (line, #runs reporting it):")

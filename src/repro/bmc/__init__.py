@@ -11,5 +11,6 @@ assertion.
 """
 
 from repro.bmc.checker import BoundedModelChecker, Counterexample
+from repro.bmc.compiled import CompiledProgram
 
-__all__ = ["BoundedModelChecker", "Counterexample"]
+__all__ = ["BoundedModelChecker", "CompiledProgram", "Counterexample"]

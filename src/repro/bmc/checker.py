@@ -6,15 +6,18 @@ multiplexers between the new and old value, loops are unrolled up to the
 ``unwind`` bound (with a CBMC-style unwinding assumption that the loop has
 terminated), and function calls are inlined up to ``max_call_depth``.
 
-Two front doors are provided:
+Three front doors are provided:
 
 * :meth:`BoundedModelChecker.find_counterexample` — the CBMC role in
   Section 4.1: find a concrete input violating some assertion.
-* :meth:`BoundedModelChecker.encode_program_formula` — the CBMC role in the
-  localization pipeline: produce "the entire boolean representation of the
-  program" (Section 6.2) with one clause group per source statement, the
-  failing test pinned as hard clauses, and the post-condition asserted to
-  hold — i.e. the extended trace formula used for the TCAS experiments.
+* :meth:`BoundedModelChecker.compile_program` — encode "the entire boolean
+  representation of the program" (Section 6.2) once, *without* any test
+  baked in, as a reusable :class:`~repro.bmc.compiled.CompiledProgram`
+  artifact; the session API localizes many failing tests against it.
+* :meth:`BoundedModelChecker.encode_program_formula` — the one-shot
+  convenience: compile and immediately pin one failing test plus the
+  post-condition, yielding the extended trace formula used for the TCAS
+  experiments.
 """
 
 from __future__ import annotations
@@ -22,12 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.bmc.compiled import CompiledProgram
 from repro.encoding.circuits import Bits, CircuitBuilder
 from repro.encoding.context import EncodingContext, StatementGroup
 from repro.encoding.symbolic import ExpressionEncoder
 from repro.encoding.trace import TraceFormula, TraceStep
 from repro.lang import ast
-from repro.lang.semantics import DEFAULT_WIDTH, wrap
+from repro.lang.semantics import DEFAULT_WIDTH
 from repro.sat import Solver
 from repro.spec import Specification
 
@@ -114,6 +118,38 @@ class BoundedModelChecker:
         """True when no assertion violation exists within the bound."""
         return self.find_counterexample(entry=entry) is None
 
+    def compile_program(self, entry: str = "main") -> CompiledProgram:
+        """Encode the whole program once into a reusable, test-free artifact.
+
+        The returned :class:`~repro.bmc.compiled.CompiledProgram` holds the
+        invariant CNF (structural hard clauses plus one clause group per
+        statement) together with the input/nondet/return bit-vectors and
+        assertion-violation literals — everything needed to derive the
+        per-test unit clauses of any failing test later, without re-running
+        the encoder.  Requires ``group_statements=True`` for localization
+        use; the artifact is picklable so batch localization can ship it to
+        worker processes once.
+        """
+        input_bits, return_bits = self._encode(entry)
+        context = self._context
+        function = self.program.function(entry)
+        return CompiledProgram(
+            program_name=self.program.name,
+            entry=entry,
+            width=self.width,
+            unwind=self.unwind,
+            num_vars=context.num_vars,
+            params=tuple(function.params),
+            hard=[list(clause) for clause in context.hard],
+            groups={group: list(clauses) for group, clauses in context.groups.items()},
+            steps=list(self._steps),
+            input_bits=dict(input_bits),
+            nondet_bits=list(self._nondet_bits),
+            return_bits=return_bits,
+            violations=tuple(self._violations),
+            true_lit=context._true_lit,
+        )
+
     def encode_program_formula(
         self,
         inputs: Sequence[int] | Mapping[str, int],
@@ -127,43 +163,12 @@ class BoundedModelChecker:
         the specification as hard clauses and one clause group per statement,
         ready to be turned into the partial MaxSAT instance of Algorithm 1.
         Requires the checker to have been built with ``group_statements=True``.
+        One-shot convenience over :meth:`compile_program` — callers that
+        localize several failing tests of the same program should compile
+        once and use a :class:`~repro.core.session.LocalizationSession`.
         """
-        input_bits, return_bits = self._encode(entry)
-        builder = self._builder
-        function = self.program.function(entry)
-        test_inputs: dict[str, int] = {}
-        values = self._input_values(function, inputs)
-        for name, bits in input_bits.items():
-            builder_value = values[name]
-            with self._context.group(None):
-                builder.fix_to_value(bits, builder_value)
-            test_inputs[name] = builder_value
-        for index, bits in enumerate(self._nondet_bits):
-            value = wrap(
-                nondet_values[index] if index < len(nondet_values) else 0, self.width
-            )
-            with self._context.group(None):
-                builder.fix_to_value(bits, value)
-            test_inputs[f"nondet#{index}"] = value
-
-        if spec.kind == "assertion":
-            for _, violation in self._violations:
-                self._context.emit_hard([-violation])
-        elif spec.kind in ("return-value", "golden-output"):
-            if return_bits is None:
-                raise ValueError(f"entry function {entry!r} does not return a value")
-            expected = spec.expected[-1] if spec.expected else 0
-            with self._context.group(None):
-                builder.fix_to_value(return_bits, expected)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unsupported specification kind {spec.kind!r}")
-
-        return TraceFormula.from_context(
-            self._context,
-            steps=self._steps,
-            test_inputs=test_inputs,
-            assertion_description=spec.describe(),
-        )
+        compiled = self.compile_program(entry)
+        return compiled.trace_formula(inputs, spec, nondet_values=nondet_values)
 
     # ----------------------------------------------------- resolver protocol
 
@@ -230,24 +235,6 @@ class BoundedModelChecker:
             input_bits[param] = bits
         self._run_function(function, frame, builder.true)
         return input_bits, frame.return_value
-
-    def _input_values(
-        self, function: ast.Function, inputs: Sequence[int] | Mapping[str, int]
-    ) -> dict[str, int]:
-        if isinstance(inputs, Mapping):
-            missing = [name for name in function.params if name not in inputs]
-            if missing:
-                raise ValueError(f"missing inputs for parameters {missing}")
-            return {name: wrap(int(inputs[name]), self.width) for name in function.params}
-        values = list(inputs)
-        if len(values) != len(function.params):
-            raise ValueError(
-                f"{function.name} expects {len(function.params)} inputs, got {len(values)}"
-            )
-        return {
-            name: wrap(int(value), self.width)
-            for name, value in zip(function.params, values)
-        }
 
     def _initialize_globals(self) -> None:
         builder = self._builder

@@ -1,0 +1,235 @@
+"""The reusable whole-program encoding artifact behind the session API.
+
+The paper's Table 1 protocol localizes *every* failing test of a TCAS
+version independently, yet the CBMC-style whole-program encoding is
+identical across all of them — only the test-input equalities and the
+post-condition units change.  :class:`CompiledProgram` captures exactly the
+invariant part: the program CNF (hard structural clauses plus one clause
+group per statement), the bit-vectors of the entry function's inputs,
+``nondet()`` results and return value, and the assertion-violation
+literals.
+
+The per-test part is *data*, not encoding: :meth:`CompiledProgram.test_clauses`
+derives the handful of unit clauses pinning the inputs and asserting the
+specification, which a :class:`~repro.core.session.LocalizationSession`
+asserts as a retractable layer on a persistent MaxSAT engine.  The artifact
+is a plain picklable value, so a process pool can ship it to each worker
+once and shard failing tests across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.encoding.context import StatementGroup
+from repro.encoding.trace import TraceFormula, TraceStep
+from repro.lang.semantics import to_unsigned, wrap
+from repro.spec import Specification
+
+Bits = tuple[int, ...]
+
+
+@dataclass
+class CompiledProgram:
+    """The invariant whole-program CNF of one entry function.
+
+    Produced by :meth:`repro.bmc.BoundedModelChecker.compile_program`.  The
+    clauses never mention a concrete test: ``hard`` holds the structural
+    clauses (guards, multiplexers, unwinding assumptions), ``groups`` the
+    per-statement transition clauses that become soft selector groups, and
+    the bit-vector maps locate the points where a test plugs in.
+    """
+
+    program_name: str
+    entry: str
+    width: int
+    unwind: int
+    num_vars: int
+    params: tuple[str, ...]
+    hard: list[list[int]] = field(default_factory=list)
+    groups: dict[StatementGroup, list[list[int]]] = field(default_factory=dict)
+    steps: list[TraceStep] = field(default_factory=list)
+    input_bits: dict[str, Bits] = field(default_factory=dict)
+    nondet_bits: list[Bits] = field(default_factory=list)
+    return_bits: Optional[Bits] = None
+    violations: tuple[tuple[int, int], ...] = ()
+    true_lit: Optional[int] = None
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def num_clauses(self) -> int:
+        """Clause count of the invariant encoding (hard plus grouped)."""
+        return len(self.hard) + sum(len(clauses) for clauses in self.groups.values())
+
+    @property
+    def num_assignments(self) -> int:
+        """Number of assignment operations in the encoding (Table 3's assign#)."""
+        return sum(
+            1 for step in self.steps if step.kind in ("assign", "array-assign", "decl")
+        )
+
+    # -------------------------------------------------------- constant bits
+
+    def _const_value(self, lit: int) -> Optional[bool]:
+        if self.true_lit is None:
+            return None
+        if lit == self.true_lit:
+            return True
+        if lit == -self.true_lit:
+            return False
+        return None
+
+    def _false_clause(self) -> list[int]:
+        if self.true_lit is None:  # pragma: no cover - defensive
+            raise ValueError("encoding has no constant-true literal")
+        return [-self.true_lit]
+
+    def _fix_clauses(self, bits: Bits, value: int) -> list[list[int]]:
+        """Unit clauses pinning ``bits`` to a concrete integer value.
+
+        Mirrors :meth:`repro.encoding.circuits.CircuitBuilder.fix_to_value`
+        without needing a builder: constant bits that disagree with the
+        wanted value yield a contradiction unit.
+        """
+        pattern = to_unsigned(value, len(bits))
+        clauses: list[list[int]] = []
+        for position, lit in enumerate(bits):
+            wanted = bool((pattern >> position) & 1)
+            known = self._const_value(lit)
+            if known is None:
+                clauses.append([lit if wanted else -lit])
+            elif known != wanted:
+                clauses.append(self._false_clause())
+        return clauses
+
+    # ------------------------------------------------------------- per-test
+
+    def input_values(self, inputs: Sequence[int] | Mapping[str, int]) -> dict[str, int]:
+        """Normalize a test case to entry-parameter name/value pairs."""
+        if isinstance(inputs, Mapping):
+            missing = [name for name in self.params if name not in inputs]
+            if missing:
+                raise ValueError(f"missing inputs for parameters {missing}")
+            return {name: wrap(int(inputs[name]), self.width) for name in self.params}
+        values = list(inputs)
+        if len(values) != len(self.params):
+            raise ValueError(
+                f"{self.entry} expects {len(self.params)} inputs, got {len(values)}"
+            )
+        return {
+            name: wrap(int(value), self.width)
+            for name, value in zip(self.params, values)
+        }
+
+    def test_clauses(
+        self,
+        inputs: Sequence[int] | Mapping[str, int],
+        spec: Specification,
+        nondet_values: Sequence[int] = (),
+    ) -> tuple[list[list[int]], dict[str, int]]:
+        """The retractable per-test units: input equalities plus the spec.
+
+        Returns ``(clauses, test_inputs)`` where ``clauses`` are the unit
+        clauses to assert on top of the invariant encoding and
+        ``test_inputs`` is the report-facing name/value map (including
+        ``nondet#i`` entries).
+        """
+        clauses: list[list[int]] = []
+        test_inputs: dict[str, int] = {}
+        values = self.input_values(inputs)
+        for name, bits in self.input_bits.items():
+            value = values[name]
+            clauses.extend(self._fix_clauses(bits, value))
+            test_inputs[name] = value
+        for index, bits in enumerate(self.nondet_bits):
+            value = wrap(
+                nondet_values[index] if index < len(nondet_values) else 0, self.width
+            )
+            clauses.extend(self._fix_clauses(bits, value))
+            test_inputs[f"nondet#{index}"] = value
+
+        if spec.kind == "assertion":
+            for _, violation in self.violations:
+                clauses.append([-violation])
+        elif spec.kind in ("return-value", "golden-output"):
+            if self.return_bits is None:
+                raise ValueError(
+                    f"entry function {self.entry!r} does not return a value"
+                )
+            expected = spec.expected[-1] if spec.expected else 0
+            clauses.extend(self._fix_clauses(self.return_bits, expected))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported specification kind {spec.kind!r}")
+        return clauses, test_inputs
+
+    def phase_hints(self, test_inputs: Mapping[str, int]) -> dict[int, bool]:
+        """Warm-start phases from the concrete failing test (ROADMAP item).
+
+        Seeds the saved phase of every input and nondet bit variable with
+        its concrete value so the solver's first descent into the circuit
+        re-traces the failing execution instead of a cold default.
+        """
+        hints: dict[int, bool] = {}
+        named = dict(test_inputs)
+        vectors: list[tuple[Bits, int]] = []
+        for name, bits in self.input_bits.items():
+            if name in named:
+                vectors.append((bits, named[name]))
+        for index, bits in enumerate(self.nondet_bits):
+            key = f"nondet#{index}"
+            if key in named:
+                vectors.append((bits, named[key]))
+        for bits, value in vectors:
+            pattern = to_unsigned(value, len(bits))
+            for position, lit in enumerate(bits):
+                if self._const_value(lit) is not None:
+                    continue
+                wanted = bool((pattern >> position) & 1)
+                hints[abs(lit)] = wanted if lit > 0 else not wanted
+        return hints
+
+    # ----------------------------------------------------------- conversion
+
+    def trace_formula(
+        self,
+        inputs: Sequence[int] | Mapping[str, int],
+        spec: Specification,
+        nondet_values: Sequence[int] = (),
+    ) -> TraceFormula:
+        """Bake one test into a standalone extended trace formula.
+
+        This reproduces the classic one-shot
+        :meth:`~repro.bmc.BoundedModelChecker.encode_program_formula`
+        output: the invariant hard clauses followed by the per-test units.
+        """
+        clauses, test_inputs = self.test_clauses(inputs, spec, nondet_values)
+        # The clause lists are shared, not copied: TraceFormula consumers
+        # only read them (to_wcnf re-materializes every clause anyway).
+        return TraceFormula(
+            width=self.width,
+            num_vars=self.num_vars,
+            hard=self.hard + clauses,
+            groups=dict(self.groups),
+            steps=list(self.steps),
+            test_inputs=test_inputs,
+            assertion_description=spec.describe(),
+        )
+
+    def base_formula(self) -> TraceFormula:
+        """The invariant encoding as a test-less trace formula.
+
+        Its :meth:`~repro.encoding.trace.TraceFormula.to_wcnf` is the shared
+        partial MaxSAT instance a session loads exactly once; per-test units
+        are then asserted as retractable layers.
+        """
+        return TraceFormula(
+            width=self.width,
+            num_vars=self.num_vars,
+            hard=list(self.hard),
+            groups=dict(self.groups),
+            steps=list(self.steps),
+            test_inputs={},
+            assertion_description="",
+        )

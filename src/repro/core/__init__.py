@@ -13,28 +13,38 @@
 * :class:`LoopIterationLocalizer` — Section 5.2: weighted soft clauses with
   per-iteration selector variables to pin-point the loop iteration at which
   the failure is first caused.
+* :class:`LocalizationSession` — the session API: compile the
+  whole-program encoding once, then ``localize``/``localize_batch`` many
+  failing tests against it with solver push/pop between tests.
 * :class:`BugAssistPipeline` — the end-to-end flow of Figure 1 (failing
-  trace generation via tests or BMC, localization, optional repair).
+  trace generation via tests or BMC, localization, optional repair);
+  deprecated in favour of the session.
 """
 
 from repro.core.report import BugLocation, LocalizationReport, RankedLocalization
 from repro.core.localizer import BugAssistLocalizer
-from repro.core.ranking import rank_locations
+from repro.core.ranking import merge_reports, rank_locations
 from repro.core.repair import OffByOneRepairer, RepairResult
 from repro.core.loops import LoopIterationLocalizer, LoopIterationReport
-from repro.core.pipeline import BugAssistPipeline
+from repro.core.session import LocalizationSession, SessionStats, TestCase
+from repro.core.pipeline import BugAssistPipeline, PipelineConfig
 from repro.spec import Specification
 
 __all__ = [
     "BugAssistLocalizer",
     "BugLocation",
     "LocalizationReport",
+    "LocalizationSession",
     "RankedLocalization",
+    "SessionStats",
+    "TestCase",
+    "merge_reports",
     "rank_locations",
     "OffByOneRepairer",
     "RepairResult",
     "LoopIterationLocalizer",
     "LoopIterationReport",
     "BugAssistPipeline",
+    "PipelineConfig",
     "Specification",
 ]

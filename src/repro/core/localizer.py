@@ -34,8 +34,36 @@ from repro.encoding.context import StatementGroup
 from repro.encoding.trace import TraceFormula
 from repro.lang import ast
 from repro.lang.semantics import DEFAULT_WIDTH
-from repro.maxsat import make_engine
+from repro.maxsat import MaxSatEngine, make_engine
 from repro.spec import Specification
+
+
+def run_comss_loop(
+    engine: MaxSatEngine, report: LocalizationReport, max_candidates: int
+) -> None:
+    """Lines 5-15 of Algorithm 1: enumerate and block CoMSSes.
+
+    Shared by the one-shot localizer and the session API so both produce
+    identical candidate sequences.  Appends to ``report.candidates`` and
+    sets ``report.maxsat_calls``; the caller accounts for SAT calls and
+    wall time (the session reports per-test deltas on a shared engine).
+    """
+    maxsat_calls = 0
+    for _ in range(max_candidates):
+        result = engine.solve_current()
+        maxsat_calls += 1
+        if not result.satisfiable or not result.falsified:
+            break
+        groups = tuple(
+            label
+            for label in result.falsified_labels
+            if isinstance(label, StatementGroup)
+        )
+        if not groups:
+            break
+        report.candidates.append(BugLocation(groups=groups, cost=result.cost))
+        engine.block(result.falsified)
+    report.maxsat_calls = maxsat_calls
 
 
 class BugAssistLocalizer:
@@ -127,22 +155,7 @@ class BugAssistLocalizer:
         )
         engine = make_engine(self.strategy)
         engine.load(wcnf)
-        maxsat_calls = 0
-        for _ in range(self.max_candidates):
-            result = engine.solve_current()
-            maxsat_calls += 1
-            if not result.satisfiable or not result.falsified:
-                break
-            groups = tuple(
-                label
-                for label in result.falsified_labels
-                if isinstance(label, StatementGroup)
-            )
-            if not groups:
-                break
-            report.candidates.append(BugLocation(groups=groups, cost=result.cost))
-            engine.block(result.falsified)
-        report.maxsat_calls = maxsat_calls
+        run_comss_loop(engine, report, self.max_candidates)
         report.sat_calls = engine.sat_calls
         report.time_seconds = time.perf_counter() - started
         return report

@@ -1,4 +1,13 @@
-"""The end-to-end BugAssist flow of Figure 1.
+"""The end-to-end BugAssist flow of Figure 1 (deprecated shim).
+
+.. deprecated::
+    :class:`BugAssistPipeline` predates the session API and is kept as a
+    thin compatibility shim.  New code should use
+    :class:`~repro.core.session.LocalizationSession`, which compiles the
+    whole-program encoding once and localizes every failing test against it
+    (``localize`` / ``localize_batch``); the shim now routes its
+    localization calls through exactly that session, so it inherits the
+    compile-once behaviour while preserving the old surface.
 
 The pipeline ties the pieces together the way the tool does: failing traces
 come either from a provided test suite or from the bounded model checker;
@@ -8,14 +17,15 @@ repairer optionally synthesises an off-by-one fix at those locations.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.bmc import BoundedModelChecker, Counterexample
 from repro.core.localizer import BugAssistLocalizer
-from repro.core.ranking import rank_locations
-from repro.core.repair import OffByOneRepairer, RepairResult
 from repro.core.report import LocalizationReport, RankedLocalization
+from repro.core.repair import OffByOneRepairer, RepairResult
+from repro.core.session import LocalizationSession
 from repro.lang import ast
 from repro.lang.interp import Interpreter
 from repro.lang.semantics import DEFAULT_WIDTH
@@ -35,7 +45,12 @@ class PipelineConfig:
 
 
 class BugAssistPipeline:
-    """Generate failing executions, localize, and optionally repair."""
+    """Generate failing executions, localize, and optionally repair.
+
+    Deprecated: use :class:`~repro.core.session.LocalizationSession` for
+    localization (this shim delegates to one internally) and
+    :class:`~repro.core.repair.OffByOneRepairer` for repair.
+    """
 
     def __init__(
         self,
@@ -44,8 +59,18 @@ class BugAssistPipeline:
         concrete_functions: Iterable[str] = (),
         hard_functions: Iterable[str] = (),
     ) -> None:
+        warnings.warn(
+            "BugAssistPipeline is deprecated; use LocalizationSession "
+            "(localize / localize_batch) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.program = program
         self.config = config or PipelineConfig()
+        self.concrete_functions = tuple(concrete_functions)
+        self.hard_functions = tuple(hard_functions)
+        self.session = self._make_session("main")
+        self._sessions: dict[str, LocalizationSession] = {"main": self.session}
         self.localizer = BugAssistLocalizer(
             program,
             width=self.config.width,
@@ -54,6 +79,25 @@ class BugAssistPipeline:
             concrete_functions=concrete_functions,
             hard_functions=hard_functions,
         )
+
+    def _make_session(self, entry: str) -> LocalizationSession:
+        return LocalizationSession(
+            self.program,
+            width=self.config.width,
+            strategy=self.config.strategy,
+            unwind=self.config.bmc_unwind,
+            max_candidates=self.config.max_candidates,
+            entry=entry,
+            hard_functions=self.hard_functions,
+        )
+
+    def _session_for(self, entry: str) -> LocalizationSession:
+        """One compiled session per entry function (usually just ``main``)."""
+        session = self._sessions.get(entry)
+        if session is None:
+            session = self._make_session(entry)
+            self._sessions[entry] = session
+        return session
 
     # ------------------------------------------------------- trace generation
 
@@ -67,7 +111,7 @@ class BugAssistPipeline:
     def classify_tests(
         self,
         tests: Iterable[TestCase],
-        spec_for: "callable[[TestCase], Specification]",
+        spec_for: Callable[[TestCase], Specification],
         entry: str = "main",
     ) -> tuple[list[tuple[TestCase, Specification]], list[tuple[TestCase, Specification]]]:
         """Split a test pool into failing and passing tests for this program."""
@@ -111,7 +155,7 @@ class BugAssistPipeline:
             spec = spec or Specification.assertion()
         if spec is None:
             spec = Specification.assertion()
-        return self.localizer.localize_test(
+        return self._session_for(entry).localize_test(
             failing_test, spec, entry=entry, nondet_values=nondet_values
         )
 
@@ -121,10 +165,12 @@ class BugAssistPipeline:
         entry: str = "main",
         max_runs: Optional[int] = None,
     ) -> RankedLocalization:
-        """Section 4.3: run several failing tests and rank the reported lines."""
-        return rank_locations(
-            self.localizer, failing_tests, entry=entry, max_runs=max_runs
-        )
+        """Section 4.3: run several failing tests and rank the reported lines.
+
+        Delegates to :meth:`LocalizationSession.localize_batch`, so the
+        whole-program encoding is built once for the entire batch.
+        """
+        return self._session_for(entry).localize_batch(failing_tests, max_runs=max_runs)
 
     # ----------------------------------------------------------------- repair
 

@@ -1,0 +1,343 @@
+"""Compile once, localize many: the session-oriented BugAssist API.
+
+The Table 1 protocol localizes *each* failing test of a program
+independently, but the whole-program encoding (and hence almost the entire
+partial MaxSAT instance) is identical across those runs — only the
+test-input equalities and the post-condition units differ.  A
+:class:`LocalizationSession` exploits that:
+
+* the program is compiled exactly once into a
+  :class:`~repro.bmc.compiled.CompiledProgram` (the invariant CNF plus the
+  bit-vectors where a test plugs in);
+* one persistent MaxSAT engine is loaded with the shared instance, and
+  each failing test is localized inside a retractable *layer*
+  (:meth:`~repro.maxsat.engine.MaxSatEngine.push_layer` /
+  :meth:`~repro.maxsat.engine.MaxSatEngine.pop_layer`): the per-test units
+  and the CoMSS blocking clauses go in, Algorithm 1 runs, and the layer is
+  popped — learnt clauses, variable activities and saved phases survive
+  into the next test;
+* solver phases are warm-started from the concrete failing test, so the
+  first model search starts from the failing execution rather than from a
+  cold default;
+* :meth:`LocalizationSession.localize_batch` shards the failing tests over
+  a process pool (``executor="process"``), pickling the compiled artifact
+  once per worker, and merges the per-test reports into a
+  :class:`~repro.core.report.RankedLocalization`.
+
+Typical use::
+
+    with LocalizationSession(program) as session:
+        ranked = session.localize_batch(failing_tests)
+    for line, count in ranked.ranked_lines:
+        print(line, count)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.bmc import BoundedModelChecker, CompiledProgram
+from repro.core.localizer import run_comss_loop
+from repro.core.ranking import merge_reports
+from repro.core.report import LocalizationReport, RankedLocalization
+from repro.lang import ast
+from repro.lang.semantics import DEFAULT_WIDTH
+from repro.maxsat import MaxSatEngine, make_engine
+from repro.spec import Specification
+
+TestCase = Sequence[int] | Mapping[str, int]
+FailingTest = tuple[TestCase, Specification]
+
+#: Executors accepted by :meth:`LocalizationSession.localize_batch`.
+EXECUTORS = ("serial", "process")
+
+
+@dataclass
+class SessionStats:
+    """Counters proving the compile-once contract (used by the benchmarks)."""
+
+    encodings_built: int = 0
+    tests_localized: int = 0
+    maxsat_calls: int = 0
+    sat_calls: int = 0
+
+
+class LocalizationSession:
+    """Localize many failing tests against one compiled program encoding.
+
+    The session is the primary user-facing localization API; the per-test
+    :class:`~repro.core.localizer.BugAssistLocalizer` remains for one-shot
+    use and for the dynamic-trace mode.  Sessions are context managers::
+
+        with LocalizationSession(program, hard_lines=(7, 8)) as session:
+            report = session.localize(test, spec)
+            ranked = session.localize_batch(failing_tests, executor="process",
+                                            workers=4)
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        width: int = DEFAULT_WIDTH,
+        strategy: str = "hitting-set",
+        unwind: int = 16,
+        max_candidates: int = 25,
+        entry: str = "main",
+        hard_functions: Iterable[str] = (),
+        hard_lines: Iterable[int] = (),
+        warm_start: bool = True,
+    ) -> None:
+        self.program = program
+        self.width = width
+        self.strategy = strategy
+        self.unwind = unwind
+        self.max_candidates = max_candidates
+        self.entry = entry
+        self.hard_functions = tuple(hard_functions)
+        self.hard_lines = set(hard_lines)
+        self.warm_start = warm_start
+        self.stats = SessionStats()
+        self._compiled: Optional[CompiledProgram] = None
+        self._engine: Optional[MaxSatEngine] = None
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "LocalizationSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the persistent engine (the compiled artifact is kept)."""
+        self._engine = None
+        self._closed = True
+
+    @classmethod
+    def from_compiled(
+        cls,
+        compiled: CompiledProgram,
+        strategy: str = "hitting-set",
+        max_candidates: int = 25,
+        hard_lines: Iterable[int] = (),
+        warm_start: bool = True,
+    ) -> "LocalizationSession":
+        """Adopt an existing compiled artifact (process-pool workers do this).
+
+        The session never re-encodes: ``stats.encodings_built`` stays 0.
+        """
+        session = cls.__new__(cls)
+        session.program = None
+        session.width = compiled.width
+        session.strategy = strategy
+        session.unwind = compiled.unwind
+        session.max_candidates = max_candidates
+        session.entry = compiled.entry
+        session.hard_functions = ()
+        session.hard_lines = set(hard_lines)
+        session.warm_start = warm_start
+        session.stats = SessionStats()
+        session._compiled = compiled
+        session._engine = None
+        session._closed = False
+        return session
+
+    # --------------------------------------------------------------- compile
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The whole-program encoding, built on first use and then reused."""
+        if self._compiled is None:
+            checker = BoundedModelChecker(
+                self.program,
+                width=self.width,
+                unwind=self.unwind,
+                group_statements=True,
+                hard_functions=self.hard_functions,
+            )
+            self._compiled = checker.compile_program(entry=self.entry)
+            self.stats.encodings_built += 1
+        return self._compiled
+
+    def _ensure_engine(self) -> MaxSatEngine:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._engine is None:
+            wcnf, _ = self.compiled.base_formula().to_wcnf(
+                hard_groups=self.hard_lines or None
+            )
+            engine = make_engine(self.strategy)
+            engine.load(wcnf)
+            self._engine = engine
+        return self._engine
+
+    # -------------------------------------------------------------- localize
+
+    def localize(
+        self,
+        failing_test: TestCase,
+        spec: Specification,
+        nondet_values: Sequence[int] = (),
+        program_name: Optional[str] = None,
+    ) -> LocalizationReport:
+        """Run Algorithm 1 for one failing test on the shared encoding.
+
+        The per-test input and specification units (and every blocking
+        clause the CoMSS loop adds) live in a retractable layer that is
+        popped before returning, so the next call starts from the same
+        shared instance — plus whatever the solver learnt.
+        """
+        compiled = self.compiled
+        engine = self._ensure_engine()
+        started = time.perf_counter()
+        clauses, test_inputs = compiled.test_clauses(
+            failing_test, spec, nondet_values=nondet_values
+        )
+        report = LocalizationReport(
+            program_name=program_name or compiled.program_name,
+            test_inputs=test_inputs,
+            specification=spec.describe(),
+            trace_assignments=compiled.num_assignments,
+            trace_variables=compiled.num_vars,
+            trace_clauses=compiled.num_clauses + len(clauses),
+        )
+        sat_calls_before = engine.sat_calls
+        engine.push_layer()
+        try:
+            for clause in clauses:
+                engine.add_hard(clause)
+            if self.warm_start:
+                engine.set_phases(compiled.phase_hints(test_inputs))
+            run_comss_loop(engine, report, self.max_candidates)
+        finally:
+            engine.pop_layer()
+        report.sat_calls = engine.sat_calls - sat_calls_before
+        report.time_seconds = time.perf_counter() - started
+        self.stats.tests_localized += 1
+        self.stats.maxsat_calls += report.maxsat_calls
+        self.stats.sat_calls += report.sat_calls
+        return report
+
+    def localize_test(
+        self,
+        inputs: TestCase,
+        spec: Specification,
+        entry: str = "main",
+        nondet_values: Sequence[int] = (),
+        program_name: Optional[str] = None,
+    ) -> LocalizationReport:
+        """Drop-in signature compatibility with ``BugAssistLocalizer``.
+
+        Lets :func:`repro.core.ranking.rank_locations` and the repair loop
+        drive a session unchanged.  The entry function is fixed per session.
+        """
+        if entry != self.entry:
+            raise ValueError(
+                f"session compiled for entry {self.entry!r}, got {entry!r}"
+            )
+        return self.localize(
+            inputs, spec, nondet_values=nondet_values, program_name=program_name
+        )
+
+    # ----------------------------------------------------------------- batch
+
+    def localize_batch(
+        self,
+        failing_tests: Iterable[FailingTest],
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        max_runs: Optional[int] = None,
+        program_name: Optional[str] = None,
+        on_run: Optional[Callable[[LocalizationReport], None]] = None,
+    ) -> RankedLocalization:
+        """Section 4.3 at session speed: localize a batch and rank the lines.
+
+        ``executor="serial"`` reuses this session's engine for every test;
+        ``executor="process"`` compiles once, pickles the artifact to each
+        worker process, shards the tests round-robin and merges the reports.
+        Either way the reports arrive in input order, so the resulting
+        :class:`~repro.core.report.RankedLocalization` is identical across
+        executors.
+        """
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if self._closed:
+            raise RuntimeError("session is closed")
+        tests = list(failing_tests)
+        if max_runs is not None:
+            tests = tests[:max_runs]
+        name = program_name or self.compiled.program_name
+        if executor == "process" and len(tests) > 1:
+            reports = self._localize_with_pool(tests, workers)
+        else:
+            # A generator, so on_run streams per-test progress as each
+            # localization finishes instead of after the whole batch.
+            reports = (self.localize(inputs, spec) for inputs, spec in tests)
+        return merge_reports(name, reports, on_run=on_run)
+
+    def _localize_with_pool(
+        self, tests: list[FailingTest], workers: Optional[int]
+    ) -> list[LocalizationReport]:
+        import os
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = workers or min(len(tests), os.cpu_count() or 1)
+        workers = max(1, min(workers, len(tests)))
+        shards: list[list[tuple[int, FailingTest]]] = [[] for _ in range(workers)]
+        for index, test in enumerate(tests):
+            shards[index % workers].append((index, test))
+        payload = (
+            self.compiled,
+            self.strategy,
+            self.max_candidates,
+            tuple(self.hard_lines),
+            self.warm_start,
+        )
+        reports: list[Optional[LocalizationReport]] = [None] * len(tests)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(payload,),
+        ) as pool:
+            for shard_result in pool.map(_pool_localize_shard, shards):
+                for index, report in shard_result:
+                    reports[index] = report
+        self.stats.tests_localized += len(tests)
+        for report in reports:
+            assert report is not None
+            self.stats.maxsat_calls += report.maxsat_calls
+            self.stats.sat_calls += report.sat_calls
+        return reports  # type: ignore[return-value]
+
+
+# ----------------------------------------------------- process-pool plumbing
+
+#: Per-worker session, created once by the pool initializer from the pickled
+#: compiled artifact — each worker builds zero encodings and reuses one
+#: persistent engine across its whole shard.
+_WORKER_SESSION: Optional[LocalizationSession] = None
+
+
+def _pool_initializer(payload) -> None:
+    global _WORKER_SESSION
+    compiled, strategy, max_candidates, hard_lines, warm_start = payload
+    _WORKER_SESSION = LocalizationSession.from_compiled(
+        compiled,
+        strategy=strategy,
+        max_candidates=max_candidates,
+        hard_lines=hard_lines,
+        warm_start=warm_start,
+    )
+
+
+def _pool_localize_shard(shard) -> list[tuple[int, LocalizationReport]]:
+    assert _WORKER_SESSION is not None
+    results: list[tuple[int, LocalizationReport]] = []
+    for index, (inputs, spec) in shard:
+        results.append((index, _WORKER_SESSION.localize(inputs, spec)))
+    return results

@@ -25,6 +25,7 @@ solver in :mod:`repro.sat`:
 
 from repro.maxsat.wcnf import WCNF, SoftClause
 from repro.maxsat.result import MaxSatResult
+from repro.maxsat.engine import MaxSatEngine
 from repro.maxsat.hitting_set import HittingSetMaxSat
 from repro.maxsat.msu3 import Msu3MaxSat
 from repro.maxsat.linear_search import LinearSearchMaxSat
@@ -35,6 +36,7 @@ __all__ = [
     "WCNF",
     "SoftClause",
     "MaxSatResult",
+    "MaxSatEngine",
     "HittingSetMaxSat",
     "Msu3MaxSat",
     "LinearSearchMaxSat",

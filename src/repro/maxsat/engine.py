@@ -21,12 +21,21 @@ activities and saved phases), and :meth:`MaxSatEngine.block` retires a
 correction set by adding its blocking clause as a hard clause on the *same*
 solver — the CoMSS enumeration of Algorithm 1 never rebuilds the instance.
 The one-shot :meth:`MaxSatEngine.solve` remains as ``load`` + ``solve_current``.
+
+Engines are additionally **layered**: :meth:`MaxSatEngine.push_layer` opens
+a retractable layer on the persistent solver and
+:meth:`MaxSatEngine.pop_layer` undoes everything that happened inside it —
+hard clauses added through :meth:`MaxSatEngine.add_hard` (per-test inputs
+and specifications), blocking clauses, and soft-clause retirements, whose
+bindings are re-activated.  This is what lets a
+:class:`~repro.core.session.LocalizationSession` load one whole-program
+instance and run the CoMSS enumeration of many failing tests against it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.maxsat.result import MaxSatResult
 from repro.maxsat.wcnf import WCNF
@@ -51,6 +60,16 @@ class _SoftBinding:
     active: bool = True
 
 
+@dataclass
+class _EngineLayer:
+    """Per-layer undo record: retired bindings, forced set, blocking state."""
+
+    retired: list[_SoftBinding] = field(default_factory=list)
+    forced: set[int] = field(default_factory=set)
+    blocks: int = 0
+    block_selector: Optional[int] = None
+
+
 class MaxSatEngine:
     """Base class: persistent instance state, model evaluation, results."""
 
@@ -62,6 +81,11 @@ class MaxSatEngine:
         self._assumption_to_binding: dict[int, _SoftBinding] = {}
         self._hard_checked = False
         self._hard_ok = False
+        self._layers: list[_EngineLayer] = []
+        self._layer_forced: set[int] = set()
+        self._blocks = 0
+        self._block_selector: Optional[int] = None
+        self._true_slot = 0
 
     # -- interface -----------------------------------------------------------
 
@@ -111,7 +135,83 @@ class MaxSatEngine:
         self._assumption_to_binding = {b.assumption: b for b in bindings}
         self._hard_checked = False
         self._hard_ok = False
+        self._layers = []
+        self._layer_forced = set()
+        self._blocks = 0
+        self._block_selector = None
+        # A root-true literal used as a placeholder assumption: engines keep
+        # their assumption lists at a fixed layout (one slot per binding) and
+        # put this literal in disabled slots, so the solver's kept trail
+        # stays aligned across solves instead of shifting at every retired
+        # or excluded binding.
+        self._true_slot = solver.new_var()
+        solver.add_clause([self._true_slot])
         self._on_load()
+
+    # -- layers --------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        """Number of retractable layers currently open."""
+        return len(self._layers)
+
+    def push_layer(self) -> None:
+        """Open a retractable layer on the loaded instance.
+
+        Everything that happens until the matching :meth:`pop_layer` —
+        clauses added via :meth:`add_hard`, blocking clauses and soft
+        retirements from :meth:`block`, engine-internal auxiliary clauses —
+        is undone by the pop, while learnt clauses, variable activities and
+        saved phases of the underlying solver carry over.
+        """
+        if self._solver is None:
+            raise RuntimeError("no instance loaded; call load() first")
+        self._solver.push()
+        self._layers.append(
+            _EngineLayer(
+                forced=set(self._layer_forced),
+                blocks=self._blocks,
+                block_selector=self._block_selector,
+            )
+        )
+        self._hard_checked = False
+        self._on_push()
+
+    def pop_layer(self) -> None:
+        """Retract the most recent layer: clauses out, retired softs back in."""
+        if not self._layers:
+            raise RuntimeError("no layer to pop")
+        layer = self._layers.pop()
+        self._solver.pop()
+        for binding in layer.retired:
+            binding.active = True
+        self._layer_forced = layer.forced
+        self._blocks = layer.blocks
+        self._block_selector = layer.block_selector
+        self._hard_checked = False
+        self._on_pop()
+
+    def add_hard(self, clause: Iterable[int]) -> None:
+        """Add a hard clause to the live solver (layered while a layer is open).
+
+        Used by the session API to assert the per-test input and
+        specification units on top of the shared program encoding.
+        """
+        if self._solver is None:
+            raise RuntimeError("no instance loaded; call load() first")
+        lits = list(clause)
+        self._solver.add_clause(lits)
+        if len(lits) == 1:
+            # A unit hard clause forces its literal for as long as the
+            # current layers live; record it so core bookkeeping
+            # (:meth:`_assumption_forced`) sees through the layer selector.
+            self._layer_forced.add(lits[0])
+
+    def set_phases(self, phases: Mapping[int, bool]) -> None:
+        """Seed solver phases (warm start from a concrete failing trace)."""
+        if self._solver is None:
+            raise RuntimeError("no instance loaded; call load() first")
+        self._solver.set_phases(phases)
 
     def block(self, falsified: Sequence[int], retire: bool = True) -> None:
         """Block a correction set with a hard clause on the live solver.
@@ -133,9 +233,30 @@ class MaxSatEngine:
             raise ValueError("cannot block an empty correction set")
         blocked = set(falsified)
         beta: list[int] = []
+        beta_seen: set[int] = set()
         for index in sorted(blocked):
-            beta.extend(self._wcnf.soft[index].lits)
-        self._solver.add_clause(beta)
+            for lit in self._wcnf.soft[index].lits:
+                # Deduplicate so a binding standing for several identical
+                # unit softs still yields a unit beta (singleton tracking).
+                if lit not in beta_seen:
+                    beta_seen.add(lit)
+                    beta.append(lit)
+        # The blocking clause is enforced through an always-assumed selector
+        # rather than added verbatim: ``beta or -selector`` has a non-false
+        # literal under any kept assumption trail, so blocking never forces
+        # the solver back to level 0 (a unit ``beta`` would).  One selector
+        # is shared by every blocking clause of the current layer — blocks
+        # are only ever retracted together, and a single reusable selector
+        # keeps the assumption layout constant across the CoMSS loop.
+        if self._block_selector is None:
+            self._block_selector = self._solver.new_var()
+        self._solver.add_clause(beta + [-self._block_selector])
+        self._blocks += 1
+        if len(beta) == 1:
+            # A singleton blocking clause (CoMSS of one unit soft) forces the
+            # retired clause's assumption for as long as the selector is
+            # assumed — which is always, within the current layers.
+            self._layer_forced.add(beta[0])
         if not retire:
             return
         retired: list[_SoftBinding] = []
@@ -143,6 +264,8 @@ class MaxSatEngine:
             if binding.active and blocked.intersection(binding.indices):
                 binding.active = False
                 retired.append(binding)
+        if self._layers:
+            self._layers[-1].retired.extend(retired)
         self._on_block(retired)
 
     # -- engine hooks --------------------------------------------------------
@@ -153,14 +276,42 @@ class MaxSatEngine:
     def _on_block(self, retired: list[_SoftBinding]) -> None:
         """React to soft clauses being retired by :meth:`block`."""
 
+    def _on_push(self) -> None:
+        """Snapshot engine-specific state before a new layer starts."""
+
+    def _on_pop(self) -> None:
+        """Restore engine-specific state after a layer is retracted."""
+
     # -- shared helpers ------------------------------------------------------
 
     def _active_bindings(self) -> list[_SoftBinding]:
         return [binding for binding in self._bindings if binding.active]
 
+    def _assumption_forced(self, binding: _SoftBinding) -> bool:
+        """Is the binding's assumption literal forced by the hard clauses?
+
+        "Forced" means either fixed at the solver's root level or implied by
+        a unit clause living in one of the currently open layers (where the
+        layer selector hides it from :meth:`Solver.root_value`).
+        """
+        return (
+            self._solver.root_value(binding.assumption) is True
+            or binding.assumption in self._layer_forced
+        )
+
+    @property
+    def _block_assumptions(self) -> list[int]:
+        """The always-on assumption enforcing the current blocking clauses."""
+        if self._block_selector is None:
+            return []
+        return [self._block_selector]
+
     def _solve(self, assumptions: list[int]) -> bool:
         self.sat_calls += 1
-        return self._solver.solve(assumptions)
+        # The blocking selector goes after the caller's assumptions: the
+        # binding prefix is the expensive part of the trail and stays
+        # reusable.
+        return self._solver.solve(assumptions + self._block_assumptions)
 
     def _hard_clauses_satisfiable(self) -> bool:
         """SAT-check the hard clauses alone, once per loaded instance.

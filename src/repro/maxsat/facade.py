@@ -32,10 +32,13 @@ def make_engine(strategy: str = "hitting-set") -> MaxSatEngine:
 def solve_maxsat(wcnf: WCNF, strategy: str = "auto") -> MaxSatResult:
     """Solve a partial weighted MaxSAT instance.
 
-    With ``strategy="auto"`` the hitting-set engine is used, which supports
-    arbitrary positive integer weights.
+    With ``strategy="auto"`` the engine is picked from the instance: the
+    core-guided MSU3 engine for unweighted instances (it only pays for the
+    soft clauses that actually appear in cores) and the hitting-set engine
+    for weighted ones (MSU3 cannot count non-uniform weights, while the
+    hitting-set oracle is exact for arbitrary positive integers).
     """
     if strategy == "auto":
-        strategy = "hitting-set"
+        strategy = "hitting-set" if wcnf.is_weighted() else "msu3"
     engine = make_engine(strategy)
     return engine.solve(wcnf)

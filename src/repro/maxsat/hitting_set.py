@@ -15,10 +15,14 @@ loop-iteration localization of Section 5.2 needs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.maxsat.engine import MaxSatEngine
 from repro.maxsat.result import MaxSatResult
+
+
+#: Upper bound on archived cross-layer candidate cores (newest kept).
+MAX_STALE_CORES = 64
 
 
 class HittingSetMaxSat(MaxSatEngine):
@@ -29,15 +33,141 @@ class HittingSetMaxSat(MaxSatEngine):
     and keep seeding the hitting-set oracle.  Cores touching a retired soft
     clause are strengthened when the blocking clause root-forces that
     clause's assumption (singleton CoMSSes) and dropped otherwise.
+
+    Across layers (the session API's per-test push/pop) cores do *not* stay
+    valid — they are conditioned on the retracted per-test units — but in
+    practice the failing tests of one faulty program produce almost the
+    same initial cores.  Cores mined before the layer's first blocking
+    clause are therefore archived as *candidates* and re-validated at the
+    start of the next layer with one cheap budgeted SAT probe each; the
+    ones that hold seed the oracle, replacing the expensive
+    full-assumption core-mining calls of the first enumeration step.
+    (Cores mined after blocking started are conditioned on the retracted
+    blocking sequence and rarely revalidate, so they are not archived.)
     """
 
     def __init__(self, max_iterations: int = 100000) -> None:
         super().__init__()
         self.max_iterations = max_iterations
         self.cores: list[frozenset[int]] = []
+        self._core_snapshots: list[list[frozenset[int]]] = []
+        self._stale_cores: list[frozenset[int]] = []
+        self._stale_misses: dict[frozenset[int], int] = {}
+        self._probed = False
+        self._volatile: set[int] = set()
+        self._volatile_order: list[int] = []
+        self._slot_cache: Optional[list] = None
+        self._last_hitting_set: set[int] = set()
 
     def _on_load(self) -> None:
         self.cores = []
+        self._core_snapshots = []
+        self._stale_cores = []
+        self._stale_misses = {}
+        self._probed = False
+        self._volatile = set()
+        self._volatile_order = []
+        self._slot_cache = None
+        self._last_hitting_set = set()
+
+    def _slot_order(self) -> list:
+        """Bindings in assumption-slot order: stable ones first.
+
+        Positions that ever appeared in a core or were retired (the
+        "volatile" slots — exactly the ones the hitting set and the CoMSS
+        retirements flip) go last, so a flip invalidates only the short
+        tail of the solver's kept assumption trail.  The tail is
+        append-only (discovery order, not sorted), so marking a new
+        position volatile perturbs the layout at one point instead of
+        reshuffling the whole tail.  The set is engine-wide and survives
+        layer pops: the next failing test starts with the right layout
+        immediately.
+        """
+        if self._slot_cache is None:
+            stable = [b for b in self._bindings if b.position not in self._volatile]
+            moving = [self._bindings[position] for position in self._volatile_order]
+            self._slot_cache = stable + moving
+        return self._slot_cache
+
+    def _mark_volatile(self, positions) -> None:
+        for position in positions:
+            if position not in self._volatile:
+                self._volatile.add(position)
+                self._volatile_order.append(position)
+                self._slot_cache = None
+
+    def _on_push(self) -> None:
+        # Cores found inside a layer are conditioned on the layer's clauses
+        # (the per-test units); they become invalid once the layer is popped.
+        self._core_snapshots.append(list(self.cores))
+        self._probed = False
+        # The tie-breaking hint is per-layer: a stale hitting set from the
+        # previous test would drag ties toward its late-enumeration shape.
+        self._last_hitting_set = set()
+
+    def _on_pop(self) -> None:
+        self.cores = self._core_snapshots.pop()
+        self._probed = False
+
+    def _archive(self, core: frozenset[int]) -> None:
+        """Remember a discovered core as a candidate for future layers."""
+        shelf = self._stale_cores
+        if core not in shelf:
+            shelf.append(core)
+            while len(shelf) > MAX_STALE_CORES:
+                self._stale_misses.pop(shelf.pop(0), None)
+
+    def _validate_stale_cores(self) -> None:
+        """Promote archived candidate cores that hold under this layer.
+
+        Each candidate is checked with a SAT call assuming only its own
+        bindings — a tiny propagation cone compared to the full-assumption
+        mining call it replaces.  UNSAT confirms (and possibly shrinks) the
+        core; SAT (or an exhausted probe budget) discards it.
+        """
+        shelf = self._stale_cores
+        if not shelf:
+            return
+        seen = set(self.cores)
+        true_slot = self._true_slot
+        for core in list(shelf):
+            bindings = [self._bindings[position] for position in core]
+            if any(not binding.active for binding in bindings):
+                continue
+            # The probe uses the same fixed assumption layout as the main
+            # solves (placeholder in every slot outside the core), so the
+            # per-test cone on the kept trail is propagated once, not per
+            # probe.  A still-valid core then conflicts within a handful of
+            # free decisions; anything needing a real model search is not
+            # worth confirming.
+            assumptions = [
+                binding.assumption if binding.position in core else true_slot
+                for binding in self._slot_order()
+            ]
+            self.sat_calls += 1
+            outcome = self._solver.solve_limited(
+                assumptions + self._block_assumptions,
+                max_decisions=len(core) + 16,
+            )
+            if outcome is not False:
+                # Candidates that keep failing validation are test-specific
+                # noise: stop probing them after a couple of misses.
+                misses = self._stale_misses.get(core, 0) + 1
+                self._stale_misses[core] = misses
+                if misses >= 2:
+                    shelf.remove(core)
+                    self._stale_misses.pop(core, None)
+                continue
+            self._stale_misses.pop(core, None)
+            refined = frozenset(
+                self._assumption_to_binding[lit].position
+                for lit in self._solver.unsat_core()
+                if lit in self._assumption_to_binding
+                and self._assumption_to_binding[lit].active
+            )
+            if refined and refined not in seen:
+                self.cores.append(refined)
+                seen.add(refined)
 
     def _on_block(self, retired) -> None:
         # A blocked *singleton* CoMSS adds a unit blocking clause, fixing the
@@ -48,10 +178,11 @@ class HittingSetMaxSat(MaxSatEngine):
         # core.  Retirees that are not root-forced (multi-clause CoMSSes)
         # genuinely invalidate their cores, which are dropped — the SAT
         # oracle re-derives whatever conflict remains.
+        self._mark_volatile(binding.position for binding in retired)
         forced = {
             binding.position
             for binding in retired
-            if self._solver.root_value(binding.assumption) is True
+            if self._assumption_forced(binding)
         }
         free = {binding.position for binding in retired} - forced
         strengthened: list[frozenset[int]] = []
@@ -66,16 +197,30 @@ class HittingSetMaxSat(MaxSatEngine):
         self.cores = strengthened
 
     def solve_current(self) -> MaxSatResult:
-        if not self._hard_clauses_satisfiable():
-            return self._unsatisfiable_result()
-        active = self._active_bindings()
+        # No upfront hard-clause SAT check: the mining loop subsumes it.  An
+        # unsatisfiable hard set surfaces as an UNSAT call whose core
+        # involves no soft binding, which returns "unsatisfiable" below —
+        # and skipping the check saves the one solve per instance that has
+        # to complete a full model with every soft clause disabled.
+        if self._layers and not self._probed:
+            self._probed = True
+            self._validate_stale_cores()
         weights = [binding.weight for binding in self._bindings]
+        true_slot = self._true_slot
         for _ in range(self.max_iterations):
-            hitting_set = minimum_cost_hitting_set(self.cores, weights)
+            hitting_set = minimum_cost_hitting_set(
+                self.cores, weights, prefer=self._last_hitting_set
+            )
+            self._last_hitting_set = hitting_set
+            # Fixed assumption layout: one slot per binding (stable slots
+            # first, volatile last), disabled slots (retired or in the
+            # hitting set) hold the root-true placeholder so the solver's
+            # kept assumption trail stays aligned across solves.
             assumptions = [
                 binding.assumption
-                for binding in active
-                if binding.position not in hitting_set
+                if binding.active and binding.position not in hitting_set
+                else true_slot
+                for binding in self._slot_order()
             ]
             if self._solve(assumptions):
                 return self._result_from_model()
@@ -91,11 +236,19 @@ class HittingSetMaxSat(MaxSatEngine):
                 # inconsistent, so no correction set exists.
                 return self._unsatisfiable_result()
             self.cores.append(core)
+            self._mark_volatile(core)
+            if self._layers and self._blocks == self._layers[-1].blocks:
+                # Candidate for the next layer.  Only the pre-blocking cores
+                # are worth archiving: deeper ones are conditioned on this
+                # layer's blocking sequence and rarely revalidate.
+                self._archive(core)
         raise RuntimeError("hitting-set MaxSAT did not converge within the iteration budget")
 
 
 def minimum_cost_hitting_set(
-    cores: Sequence[frozenset[int]], weights: Sequence[int]
+    cores: Sequence[frozenset[int]],
+    weights: Sequence[int],
+    prefer: Optional[set[int]] = None,
 ) -> set[int]:
     """Exact minimum-cost hitting set by branch and bound.
 
@@ -104,6 +257,11 @@ def minimum_cost_hitting_set(
     number and size of cores produced by trace formulas is small (they
     correspond to candidate bug locations), so an exact exponential search is
     affordable and keeps the engine optimal.
+
+    ``prefer`` breaks ties between equal-weight elements towards members of
+    a previous hitting set: optima are often non-unique, and a stable choice
+    keeps the SAT solver's assumption trail (which flips one slot per
+    hitting-set member) reusable between engine iterations.
     """
     if not cores:
         return set()
@@ -111,6 +269,7 @@ def minimum_cost_hitting_set(
     best_cost = [sum(weights[index] for core in ordered for index in core) + 1]
     best_set: list[set[int]] = [set()]
     found = [False]
+    prefer = prefer or set()
 
     def search(core_position: int, chosen: set[int], cost: int) -> None:
         if cost >= best_cost[0] and found[0]:
@@ -123,7 +282,10 @@ def minimum_cost_hitting_set(
                 best_set[0] = set(chosen)
                 found[0] = True
             return
-        candidates = sorted(ordered[core_position], key=lambda index: weights[index])
+        candidates = sorted(
+            ordered[core_position],
+            key=lambda index: (weights[index], index not in prefer, index),
+        )
         for index in candidates:
             chosen.add(index)
             search(core_position + 1, chosen, cost + weights[index])

@@ -21,6 +21,24 @@ the reproduction:
   activities and saved phases all persist, so the MaxSAT layer can block a
   correction set with a new hard clause and re-solve incrementally instead
   of rebuilding the instance from scratch.
+* **Retractable layers.**  :meth:`Solver.push` opens a *layer*: clauses
+  added while a layer is active can later be retracted with
+  :meth:`Solver.pop`.  A layer is implemented with a fresh selector
+  variable ``s`` — every clause of the layer gets ``-s`` appended and every
+  solve assumes ``s`` — so retraction is sound by construction: popping
+  adds the permanent unit ``-s``, which subsumes every clause of the layer,
+  and therefore keeps all learnt clauses valid.  The session API uses this
+  to load one whole-program encoding and swap per-test input/specification
+  units in and out without rebuilding the solver.
+* **Assumption-trail keeping.**  On trace formulas almost the entire
+  circuit is forced by the assumptions, so re-deciding the same assumption
+  prefix on every :meth:`Solver.solve` call re-propagates thousands of
+  literals.  The solver therefore *keeps* the assumption decision levels
+  (and all their propagations) between solve calls and, on the next call,
+  backtracks only to the first assumption that differs.  Clauses added
+  between calls attach in place when they are neither unit nor conflicting
+  under the kept trail; otherwise the solver transparently falls back to
+  a full restart from level 0.
 
 Literals use the DIMACS convention (non-zero signed integers) at the API
 boundary and a packed even/odd encoding internally.
@@ -47,6 +65,20 @@ class _Clause(list):
         super().__init__(lits)
         self.learnt = learnt
         self.activity = 0.0
+
+
+@dataclass
+class _Layer:
+    """One retractable clause layer opened by :meth:`Solver.push`.
+
+    ``selector`` is the layer's fresh selector variable; ``clauses`` are the
+    attached (length >= 2) clauses carrying ``-selector`` that must be
+    detached again when the layer is popped.
+    """
+
+    selector: int
+    clauses: list["_Clause"] = field(default_factory=list)
+    clause_mark: int = 0  # len(solver._clauses) when the layer opened
 
 
 @dataclass
@@ -108,8 +140,17 @@ class Solver:
         self._ok = True
         self._model: Optional[list[int]] = None
         self._core: Optional[list[int]] = None
+        self._layers: list[_Layer] = []
+        # External assumption literals whose decision levels (1..len) are
+        # still on the trail from the previous solve (trail keeping).
+        self._kept_assumptions: list[int] = []
+        # Lowest decision level reached since the current solve started;
+        # used to record which kept assumption decisions survived an
+        # optimistic full-trail resume.
+        self._search_floor = 0
         self.stats = SolverStats()
         self.max_conflicts: Optional[int] = None
+        self.max_decisions: Optional[int] = None
 
     # ------------------------------------------------------------------ API
 
@@ -146,14 +187,22 @@ class Solver:
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause of signed literals.
 
+        While a layer opened by :meth:`push` is active the clause belongs to
+        that layer and is retracted again by the matching :meth:`pop`.  The
+        clause may be added while an assumption trail is kept from the
+        previous solve: it attaches in place when it has two non-false
+        literals under the kept trail and otherwise triggers a transparent
+        backtrack to level 0.
+
         Returns ``False`` when the clause makes the formula trivially
         unsatisfiable at the top level (and the solver becomes permanently
         unsatisfiable), ``True`` otherwise.
         """
         if not self._ok:
             return False
-        if self._trail_lim:
-            raise RuntimeError("clauses may only be added at decision level 0")
+        layer = self._layers[-1] if self._layers else None
+        if layer is not None:
+            lits = list(lits) + [-layer.selector]
         seen: set[int] = set()
         internal: list[int] = []
         for lit in lits:
@@ -173,18 +222,87 @@ class Solver:
             seen.add(ilit)
             internal.append(ilit)
         if not internal:
+            self._cancel_to_root()
             self._ok = False
             return False
         if len(internal) == 1:
+            # Unit clauses are root facts: give up the kept trail so the
+            # literal is fixed at level 0.
+            self._cancel_to_root()
             if not self._enqueue(internal[0], None):
                 self._ok = False
                 return False
             self._ok = self._propagate() is None
             return self._ok
         clause = _Clause(internal, learnt=False)
+        if self._trail_lim and not self._place_under_trail(clause):
+            # No placement kept the trail: restart from the root, where the
+            # clause (its literals now unassigned or root-false) attaches
+            # with the standard level-0 machinery.
+            self._cancel_to_root()
         self._attach(clause)
         self._clauses.append(clause)
+        if layer is not None:
+            layer.clauses.append(clause)
         return True
+
+    def _place_under_trail(self, clause: _Clause) -> bool:
+        """Position a new clause's watches under a kept assumption trail.
+
+        Backjumps just far enough that the clause is not conflicting: to
+        attach it needs two non-false literals (then it is inert for now);
+        a clause that is unit after the backjump is enqueued so the next
+        propagation processes it.  Returns ``False`` when only a full
+        root restart can place the clause (some literal is false at level
+        0 in a way the simplification has not already removed).
+        """
+        while True:
+            first = second = -1
+            max_level = 0
+            for position, ilit in enumerate(clause):
+                if self._lit_value(ilit) == _FALSE:
+                    level = self._level[ilit >> 1]
+                    if level > max_level:
+                        max_level = level
+                elif first < 0:
+                    first = position
+                else:
+                    second = position
+                    break
+            if second >= 0:
+                # Two non-false literals: watch them; the clause cannot be
+                # unit or conflicting right now.  ``second > first`` always,
+                # so the two swaps cannot collide.
+                clause[0], clause[first] = clause[first], clause[0]
+                clause[1], clause[second] = clause[second], clause[1]
+                return True
+            if max_level == 0:
+                return False
+            if first >= 0:
+                # Unit under the trail: backtrack to the deepest false level
+                # and enqueue there, watching the unit literal and one of the
+                # deepest false literals.
+                self._cancel_keeping(max_level)
+                unit = clause[first]
+                if self._lit_value(unit) == _UNDEF:
+                    if not self._enqueue(unit, clause):  # pragma: no cover
+                        return False
+                    self._qhead = min(self._qhead, len(self._trail) - 1)
+                clause[0], clause[first] = clause[first], clause[0]
+                for position in range(1, len(clause)):
+                    ilit = clause[position]
+                    if self._lit_value(ilit) == _FALSE and self._level[ilit >> 1] == max_level:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        break
+                return True
+            # Conflicting: unassign the deepest false literals and retry.
+            self._cancel_keeping(max_level - 1)
+
+    def _cancel_keeping(self, level: int) -> None:
+        """Backtrack to ``level``, truncating the kept assumption prefix."""
+        if level < len(self._kept_assumptions):
+            del self._kept_assumptions[level:]
+        self._cancel_until(level)
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
         """Add many clauses; returns ``False`` if any made the formula unsat."""
@@ -196,6 +314,10 @@ class Solver:
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
         """Solve under the given assumption literals.
 
+        Selectors of the layers currently open via :meth:`push` are assumed
+        automatically (so layered clauses are enforced); they may therefore
+        show up in :meth:`unsat_core`.
+
         Returns ``True`` if satisfiable (a model is then available through
         :meth:`model_value` / :meth:`get_model`), ``False`` otherwise (an
         assumption core is then available through :meth:`unsat_core`).
@@ -204,15 +326,81 @@ class Solver:
         self._model = None
         self._core = None
         if not self._ok:
+            self._kept_assumptions = []
             self._core = []
             return False
         for lit in assumptions:
             if lit == 0:
                 raise ValueError("0 is not a valid assumption literal")
             self.ensure_vars(abs(lit))
-        internal_assumptions = [self._to_internal(lit) for lit in assumptions]
+        all_assumptions = [layer.selector for layer in self._layers]
+        all_assumptions.extend(assumptions)
+        # Trail keeping: reuse the decision levels of the longest assumption
+        # prefix shared with the previous solve — their propagations (on
+        # trace formulas, most of the circuit) are still on the trail.
+        kept = self._kept_assumptions
+        keep = 0
+        limit = min(len(kept), len(all_assumptions))
+        while keep < limit and kept[keep] == all_assumptions[keep]:
+            keep += 1
+        # Optimistic full-trail resume: when the assumption list has the
+        # same layout and every *changed* assumption already holds on the
+        # kept trail, the previous solve's entire trail — free decisions
+        # included — remains a plausible starting point.  The answer is
+        # only trusted when it is SAT *and* the final assignment satisfies
+        # every current assumption (a backjump may unassign a changed slot
+        # that no decision level re-pins); anything else is re-derived
+        # conservatively from the true shared prefix.
+        optimistic = False
+        if keep < len(all_assumptions) and len(kept) == len(all_assumptions):
+            optimistic = True
+            for index in range(keep, len(all_assumptions)):
+                if kept[index] != all_assumptions[index]:
+                    ilit = self._to_internal(all_assumptions[index])
+                    if self._lit_value(ilit) != _TRUE:
+                        optimistic = False
+                        break
+        self._kept_assumptions = []
+        resumed_full = False
+        if keep == limit and len(kept) == len(all_assumptions) == keep:
+            pass  # identical assumptions: resume with the full trail
+        elif optimistic:
+            resumed_full = True  # changed slots satisfied: resume in place
+        else:
+            self._cancel_until(keep)
+        internal_assumptions = [self._to_internal(lit) for lit in all_assumptions]
+        self._search_floor = self._decision_level()
         result = self._search(internal_assumptions)
-        self._cancel_until(0)
+        if resumed_full and (
+            not result
+            or any(
+                self._lit_value(ilit) != _TRUE for ilit in internal_assumptions
+            )
+        ):
+            # The optimistic answer may rest on stale decisions kept from
+            # the previous assumption set (UNSAT case) or on a model that
+            # silently dropped a changed assumption (SAT case): redo from
+            # the true shared prefix.
+            resumed_full = False
+            self._cancel_until(keep)
+            self._search_floor = self._decision_level()
+            result = self._search(internal_assumptions)
+        count = len(all_assumptions)
+        if result:
+            level = self._decision_level()
+        else:
+            level = min(self._decision_level(), count)
+            self._cancel_until(level)
+        if resumed_full and result:
+            # Levels below the search's lowest backtrack point still hold
+            # the previous call's assumption decisions; levels above were
+            # re-established from the current list.  Record what is
+            # actually on the trail, not the list we were asked for.
+            floor = min(self._search_floor, count)
+            on_trail = kept[:floor] + all_assumptions[floor:count]
+            self._kept_assumptions = on_trail[: min(level, count)]
+        else:
+            self._kept_assumptions = list(all_assumptions[: min(level, count)])
         return result
 
     def solve_result(self, assumptions: Sequence[int] = ()) -> SolveResult:
@@ -221,6 +409,26 @@ class Solver:
         if sat:
             return SolveResult(True, model=self.get_model())
         return SolveResult(False, core=self.unsat_core())
+
+    def solve_limited(
+        self, assumptions: Sequence[int] = (), max_decisions: Optional[int] = None
+    ) -> Optional[bool]:
+        """Budgeted probe: solve, but give up after ``max_decisions`` free
+        decisions and return ``None``.
+
+        Cheap UNSAT proofs (assumption cones that conflict almost
+        immediately) complete well inside a small budget; anything that
+        needs a real model search exhausts it.  Used to re-validate
+        candidate cores across session layers without paying for full
+        solves.
+        """
+        self.max_decisions = max_decisions
+        try:
+            return self.solve(assumptions)
+        except DecisionBudgetExceeded:
+            return None
+        finally:
+            self.max_decisions = None
 
     def model_value(self, lit: int) -> Optional[bool]:
         """Value of a signed literal in the last model (None if unknown var)."""
@@ -244,6 +452,12 @@ class Solver:
         """
         if self._model is None:
             raise RuntimeError("no model available; last solve was UNSAT or never ran")
+        if not complete:
+            return {
+                var: value == _TRUE
+                for var, value in enumerate(self._model)
+                if var and value != _UNDEF
+            }
         model: dict[int, bool] = {}
         for var in range(1, self._num_vars + 1):
             value = self._model[var] if var < len(self._model) else _UNDEF
@@ -274,6 +488,91 @@ class Solver:
         if self._core is None:
             raise RuntimeError("no core available; last solve was SAT or never ran")
         return list(self._core)
+
+    # --------------------------------------------------------------- layers
+
+    @property
+    def num_layers(self) -> int:
+        """Number of retractable layers currently open."""
+        return len(self._layers)
+
+    def push(self) -> int:
+        """Open a retractable clause layer; returns its selector variable.
+
+        Every clause added until the matching :meth:`pop` is tagged with the
+        layer's fresh selector and only enforced while the layer is open
+        (the selector is assumed automatically by :meth:`solve`).  Layers
+        nest LIFO.  Learnt clauses, activities and saved phases acquired
+        while the layer is open remain valid after popping.
+        """
+        self._cancel_to_root()
+        selector = self.new_var()
+        self._layers.append(_Layer(selector, clause_mark=len(self._clauses)))
+        return selector
+
+    def pop(self) -> None:
+        """Retract the most recently pushed layer.
+
+        The layer's clauses are detached and the permanent unit clause
+        ``-selector`` is added.  Because each retracted clause contained
+        ``-selector``, the unit subsumes them all — so every clause learnt
+        from them stays implied by the remaining database.  Learnt clauses
+        that mention the dead selector are garbage-collected; the rest (the
+        reusable program-structure lemmas) survive.
+        """
+        if not self._layers:
+            raise RuntimeError("no layer to pop")
+        self._cancel_to_root()
+        layer = self._layers.pop()
+        removed = set(map(id, layer.clauses))
+        for clause in layer.clauses:
+            self._detach(clause)
+        # Every problem clause added since the layer opened belongs to it
+        # (add_clause tags them all), so the layer's clauses are exactly the
+        # tail of the clause list.
+        del self._clauses[layer.clause_mark:]
+        # Learnt clauses mentioning the dead selector are permanently
+        # satisfied once ``-selector`` is fixed; drop them so the watch
+        # lists do not silt up over a long session.
+        dead_lit = self._to_internal(-layer.selector)
+        stale = [learnt for learnt in self._learnts if dead_lit in learnt]
+        if stale:
+            for learnt in stale:
+                self._detach(learnt)
+                removed.add(id(learnt))
+            self._learnts = [c for c in self._learnts if id(c) not in removed]
+        if removed:
+            # Level-0 propagations may still name a retracted clause as their
+            # reason; those reasons are never resolved against again, but the
+            # dangling references are cleared to keep the objects collectable.
+            for var in range(1, self._num_vars + 1):
+                if self._reason[var] is not None and id(self._reason[var]) in removed:
+                    self._reason[var] = None
+        # The retraction unit is permanent even when outer layers are still
+        # open (a popped layer can never be re-entered), so it must bypass
+        # the layer tagging of add_clause.
+        remaining = self._layers
+        self._layers = []
+        try:
+            self.add_clause([-layer.selector])
+        finally:
+            self._layers = remaining
+
+    def _cancel_to_root(self) -> None:
+        """Backtrack to level 0, giving up any kept assumption trail."""
+        self._kept_assumptions = []
+        self._cancel_until(0)
+
+    def set_phases(self, phases) -> None:
+        """Seed the saved phase of variables (warm start).
+
+        ``phases`` maps variable index to the Boolean the next decision on
+        that variable should try first.  Used to prime the search with the
+        concrete values of a known failing execution.
+        """
+        for var, value in phases.items():
+            if 1 <= var <= self._num_vars:
+                self._polarity[var] = bool(value)
 
     # ------------------------------------------------------------ internals
 
@@ -380,6 +679,8 @@ class Solver:
     def _cancel_until(self, level: int) -> None:
         if self._decision_level() <= level:
             return
+        if level < self._search_floor:
+            self._search_floor = level
         bound = self._trail_lim[level]
         trail = self._trail
         assigns = self._assigns
@@ -573,6 +874,7 @@ class Solver:
         conflicts_since_restart = 0
         max_learnts = max(len(self._clauses) // 3, 2000)
         total_conflicts = 0
+        free_decisions = 0
 
         while True:
             conflict = self._propagate()
@@ -641,9 +943,19 @@ class Solver:
                 if next_lit is None:
                     self._model = list(self._assigns)
                     return True
+                free_decisions += 1
+                if self.max_decisions is not None and free_decisions > self.max_decisions:
+                    self._cancel_to_root()
+                    raise DecisionBudgetExceeded(
+                        f"exceeded decision budget of {self.max_decisions}"
+                    )
             self._new_decision_level()
             self._enqueue(next_lit, None)
 
 
 class ConflictBudgetExceeded(RuntimeError):
     """Raised when ``Solver.max_conflicts`` is exhausted during search."""
+
+
+class DecisionBudgetExceeded(RuntimeError):
+    """Raised when ``Solver.max_decisions`` is exhausted during search."""

@@ -4,8 +4,10 @@ For one faulty version the harness
 
 1. runs the test pool through the faulty program and keeps the tests whose
    output differs from the golden output (the failing test cases, TC#),
-2. runs the BugAssist localizer on (a sample of) the failing tests with the
-   golden output as the specification,
+2. opens one :class:`~repro.core.session.LocalizationSession` for the
+   version (the whole-program encoding is compiled once) and localizes (a
+   sample of) the failing tests against it with the golden output as the
+   per-test specification,
 3. aggregates the Table 1 metrics: Detect# (runs that reported the true
    fault line), SizeReduc% (reported lines over program lines) and the mean
    run time.
@@ -17,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core import BugAssistLocalizer, Specification
+from repro.core import LocalizationSession, Specification
 from repro.lang import Interpreter
 from repro.siemens.faults import FaultVersion
 from repro.siemens.tcas import tcas_fault, tcas_faulty_program, tcas_program
@@ -102,22 +104,22 @@ def run_tcas_version(
         failing_tests=len(failing),
     )
     program = tcas_faulty_program(version)
-    localizer = BugAssistLocalizer(
-        program, strategy=strategy, mode="program", hard_lines=TCAS_HARNESS_LINES
-    )
     fault_lines = set(fault.fault_lines)
     selected = failing if max_localized_tests is None else failing[:max_localized_tests]
-    for vector, expected in selected:
-        started = time.perf_counter()
-        report = localizer.localize_test(
-            vector.as_list(), Specification.return_value(expected)
-        )
-        elapsed = time.perf_counter() - started
-        result.runs += 1
-        result.total_time += elapsed
-        result.reported_lines.update(report.lines)
-        if any(line in fault_lines for line in report.lines):
-            result.detected += 1
+    with LocalizationSession(
+        program, strategy=strategy, hard_lines=TCAS_HARNESS_LINES
+    ) as session:
+        for vector, expected in selected:
+            started = time.perf_counter()
+            report = session.localize(
+                vector.as_list(), Specification.return_value(expected)
+            )
+            elapsed = time.perf_counter() - started
+            result.runs += 1
+            result.total_time += elapsed
+            result.reported_lines.update(report.lines)
+            if any(line in fault_lines for line in report.lines):
+                result.detected += 1
     return result
 
 

@@ -166,6 +166,34 @@ class TestEngines:
         with pytest.raises(ValueError):
             make_engine("simulated-annealing")
 
+    def test_auto_strategy_picks_engine_from_instance(self, monkeypatch):
+        import repro.maxsat.facade as facade
+
+        chosen: list[str] = []
+        real_make_engine = facade.make_engine
+
+        def spy(strategy: str = "hitting-set"):
+            chosen.append(strategy)
+            return real_make_engine(strategy)
+
+        monkeypatch.setattr(facade, "make_engine", spy)
+
+        unweighted = WCNF()
+        x = unweighted.new_var()
+        unweighted.add_soft([x])
+        unweighted.add_soft([-x])
+        result = facade.solve_maxsat(unweighted, strategy="auto")
+        assert result.satisfiable and result.cost == 1
+        assert chosen[-1] == "msu3"
+
+        weighted = WCNF()
+        y = weighted.new_var()
+        weighted.add_soft([y], weight=1)
+        weighted.add_soft([-y], weight=5)
+        result = facade.solve_maxsat(weighted, strategy="auto")
+        assert result.satisfiable and result.cost == 1
+        assert chosen[-1] == "hitting-set"
+
     def test_empty_instance(self):
         result = solve_maxsat(WCNF())
         assert result.satisfiable

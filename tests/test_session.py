@@ -1,0 +1,329 @@
+"""Tests for the session API: solver/engine push-pop layers and
+compile-once/localize-many equivalence with the per-test baseline."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bmc import BoundedModelChecker
+from repro.core import (
+    BugAssistLocalizer,
+    BugAssistPipeline,
+    LocalizationSession,
+    Specification,
+    rank_locations,
+)
+from repro.lang import Interpreter, parse_program
+from repro.maxsat import WCNF, make_engine
+from repro.sat import Solver
+
+MOTIVATING = (
+    "int Array[3] = {10, 20, 30};\n"
+    "int testme(int index) {\n"
+    "    if (index != 1) {\n"
+    "        index = 2;\n"
+    "    } else {\n"
+    "        index = index + 2;\n"
+    "    }\n"
+    "    int i = index;\n"
+    "    assert(i >= 0 && i < 3);\n"
+    "    return Array[i];\n"
+    "}\n"
+    "int main(int index) { return testme(index); }\n"
+)
+
+CLASSIFY = (
+    "int classify(int x) {\n"
+    "    int big = 0;\n"
+    "    if (x > 7) {\n"  # bug: spec wants threshold 10
+    "        big = 1;\n"
+    "    }\n"
+    "    return big;\n"
+    "}\n"
+    "int main(int x) { return classify(x); }\n"
+)
+
+
+def classify_failing_tests():
+    program = parse_program(CLASSIFY, name="classify")
+    interpreter = Interpreter(program)
+    failing = []
+    for x in range(16):
+        expected = 1 if x > 10 else 0
+        if interpreter.run([x]).return_value != expected:
+            failing.append(([x], Specification.return_value(expected)))
+    assert failing
+    return program, failing
+
+
+# --------------------------------------------------------------- solver push/pop
+
+
+class TestSolverLayers:
+    def test_retracted_units_really_gone(self):
+        solver = Solver()
+        x, y = solver.new_var(), solver.new_var()
+        solver.add_clause([x, y])
+        solver.push()
+        solver.add_clause([-x])
+        assert solver.solve()
+        assert solver.model_value(x) is False
+        # Under the layer, assuming x must fail.
+        assert not solver.solve([x])
+        solver.pop()
+        # After the pop the unit is gone: x may be true again.
+        assert solver.solve([x])
+        assert solver.model_value(x) is True
+
+    def test_layers_nest_lifo(self):
+        solver = Solver()
+        x, y = solver.new_var(), solver.new_var()
+        solver.push()
+        solver.add_clause([x])
+        solver.push()
+        solver.add_clause([y])
+        assert solver.solve()
+        assert solver.model_value(x) is True and solver.model_value(y) is True
+        solver.pop()  # retracts [y]
+        assert solver.solve([-y])
+        assert solver.model_value(x) is True
+        solver.pop()  # retracts [x]
+        assert solver.solve([-x, -y])
+
+    def test_learnt_clauses_survive_pop(self):
+        # A pigeonhole core in the base clauses forces real conflict
+        # learning while the layer is open; the lemmas must survive the pop
+        # and the solver must stay correct on both polarities.
+        solver = Solver()
+        vars_ = {(p, h): solver.new_var() for p in range(3) for h in range(2)}
+        for p in range(3):
+            solver.add_clause([vars_[(p, 0)], vars_[(p, 1)]])
+        marker = solver.new_var()
+        solver.push()
+        # Inside the layer: the at-most-one constraints making it UNSAT.
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-vars_[(p1, h)], -vars_[(p2, h)]])
+        assert not solver.solve()
+        learnt_before = solver.stats.learnt_clauses
+        assert learnt_before > 0
+        solver.pop()
+        # Without the layer the instance is satisfiable again, learnt
+        # statistics intact and no stale constraint on the marker variable.
+        assert solver.solve([marker])
+        assert solver.stats.learnt_clauses == learnt_before
+        assert solver.model_value(marker) is True
+
+    def test_add_clause_under_kept_trail(self):
+        # After a solve with assumptions the trail is kept; adding clauses
+        # that are unit or conflicting under that trail must still be sound.
+        solver = Solver()
+        x, y, z = (solver.new_var() for _ in range(3))
+        solver.add_clause([x, y, z])
+        assert solver.solve([x, y])
+        # Conflicting under the kept trail (x and y are assumed true).
+        solver.add_clause([-x, -y])
+        assert solver.solve([x])
+        assert solver.model_value(y) is False
+        assert not solver.solve([x, y])
+        core = solver.unsat_core()
+        assert set(core) <= {x, y}
+
+    def test_solve_limited_budget(self):
+        solver = Solver()
+        lits = [solver.new_var() for _ in range(30)]
+        for a in range(0, 30, 3):
+            solver.add_clause([lits[a], lits[a + 1], lits[a + 2]])
+        assert solver.solve_limited(max_decisions=1000) is True
+        solver.add_clause([lits[0]])
+        assert solver.solve_limited([-lits[0]], max_decisions=1000) is False
+        # An absurdly small budget gives up rather than answering.
+        fresh = Solver()
+        vars2 = [fresh.new_var() for _ in range(40)]
+        for index in range(0, 40, 2):
+            fresh.add_clause([vars2[index], vars2[index + 1]])
+        assert fresh.solve_limited(max_decisions=1) is None
+
+
+# --------------------------------------------------------------- engine layers
+
+
+def small_wcnf() -> WCNF:
+    wcnf = WCNF()
+    x, y = wcnf.new_var(), wcnf.new_var()
+    wcnf.add_hard([x, y])
+    wcnf.add_soft([x], label="x")
+    wcnf.add_soft([y], label="y")
+    return wcnf
+
+
+class TestEngineLayers:
+    @pytest.mark.parametrize("strategy", ["hitting-set", "msu3", "linear"])
+    def test_layer_roundtrip_restores_cost(self, strategy):
+        engine = make_engine(strategy)
+        engine.load(small_wcnf())
+        assert engine.solve_current().cost == 0
+        engine.push_layer()
+        engine.add_hard([-1])  # forces soft [x] to fall
+        result = engine.solve_current()
+        assert result.satisfiable and result.cost == 1
+        assert "x" in result.falsified_labels
+        engine.pop_layer()
+        assert engine.solve_current().cost == 0
+
+    @pytest.mark.parametrize("strategy", ["hitting-set", "msu3", "linear"])
+    def test_pop_restores_retired_softs(self, strategy):
+        engine = make_engine(strategy)
+        engine.load(small_wcnf())
+        engine.push_layer()
+        engine.add_hard([-1])
+        result = engine.solve_current()
+        assert result.cost == 1
+        engine.block(result.falsified)  # retires the fallen soft
+        follow_up = engine.solve_current()
+        # After blocking, either nothing soft is left to fall or the
+        # instance is unsatisfiable under the layer.
+        assert not follow_up.satisfiable or not follow_up.falsified
+        engine.pop_layer()
+        # The retired soft is active again and the blocking clause is gone.
+        assert engine.solve_current().cost == 0
+        assert all(binding.active for binding in engine._bindings)
+
+    @pytest.mark.parametrize("strategy", ["hitting-set", "msu3", "linear"])
+    def test_layered_engine_matches_fresh_engine(self, strategy):
+        # Re-solving the same per-test layer on a reused engine must agree
+        # with a freshly loaded engine on cost and falsified labels.
+        reused = make_engine(strategy)
+        reused.load(small_wcnf())
+        for _ in range(3):
+            reused.push_layer()
+            reused.add_hard([-2])  # forces soft [y] to fall
+            layered = reused.solve_current()
+            reused.pop_layer()
+            fresh = make_engine(strategy)
+            wcnf = small_wcnf()
+            wcnf.add_hard([-2])
+            direct = fresh.solve(wcnf)
+            assert layered.cost == direct.cost == 1
+            assert set(layered.falsified_labels) == set(direct.falsified_labels)
+
+    def test_unbalanced_pop_raises(self):
+        engine = make_engine("hitting-set")
+        engine.load(small_wcnf())
+        with pytest.raises(RuntimeError):
+            engine.pop_layer()
+
+
+# ------------------------------------------------------------------- sessions
+
+
+@pytest.fixture(scope="module")
+def motivating_program():
+    return parse_program(MOTIVATING, name="motivating")
+
+
+class TestLocalizationSession:
+    def test_compiles_once_and_matches_per_test_localizer(self, motivating_program):
+        localizer = BugAssistLocalizer(motivating_program)
+        baseline = localizer.localize_test([1], Specification.assertion())
+        with LocalizationSession(motivating_program) as session:
+            first = session.localize([1], Specification.assertion())
+            second = session.localize([1], Specification.assertion())
+        assert session.stats.encodings_built == 1
+        assert session.stats.tests_localized == 2
+        assert set(first.lines) == set(second.lines) == set(baseline.lines)
+        assert [c.lines for c in first.candidates] == [
+            c.lines for c in baseline.candidates
+        ]
+
+    def test_session_vs_pipeline_equivalence_on_batch(self):
+        program, failing = classify_failing_tests()
+        pipeline_baseline = rank_locations(
+            BugAssistLocalizer(program), failing, program_name="classify"
+        )
+        with LocalizationSession(program) as session:
+            ranked = session.localize_batch(failing, program_name="classify")
+        assert ranked.ranked_lines == pipeline_baseline.ranked_lines
+        assert len(ranked.runs) == len(pipeline_baseline.runs)
+        for mine, theirs in zip(ranked.runs, pipeline_baseline.runs):
+            assert set(mine.lines) == set(theirs.lines)
+
+    def test_process_executor_matches_serial(self):
+        program, failing = classify_failing_tests()
+        with LocalizationSession(program) as serial_session:
+            serial = serial_session.localize_batch(failing)
+        with LocalizationSession(program) as pool_session:
+            pooled = pool_session.localize_batch(
+                failing, executor="process", workers=2
+            )
+        assert pooled.ranked_lines == serial.ranked_lines
+        assert [r.lines for r in pooled.runs] == [r.lines for r in serial.runs]
+
+    def test_unknown_executor_rejected(self):
+        program, failing = classify_failing_tests()
+        with LocalizationSession(program) as session:
+            with pytest.raises(ValueError):
+                session.localize_batch(failing, executor="threads")
+
+    def test_compiled_program_is_picklable(self, motivating_program):
+        checker = BoundedModelChecker(motivating_program, group_statements=True)
+        compiled = checker.compile_program()
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.num_vars == compiled.num_vars
+        assert clone.num_clauses == compiled.num_clauses
+        session = LocalizationSession.from_compiled(clone)
+        report = session.localize([1], Specification.assertion())
+        assert session.stats.encodings_built == 0
+        assert report.contains_line(6) or report.contains_line(3)
+
+    def test_localize_test_rejects_other_entry(self, motivating_program):
+        with LocalizationSession(motivating_program) as session:
+            with pytest.raises(ValueError):
+                session.localize_test([1], Specification.assertion(), entry="testme")
+
+    def test_closed_session_rejects_work(self, motivating_program):
+        session = LocalizationSession(motivating_program)
+        with session:
+            session.localize([1], Specification.assertion())
+        with pytest.raises(RuntimeError):
+            session.localize([1], Specification.assertion())
+
+    def test_pipeline_shim_delegates_to_session(self, motivating_program):
+        with pytest.warns(DeprecationWarning):
+            pipeline = BugAssistPipeline(motivating_program)
+        report = pipeline.localize([1])
+        assert report.contains_line(6)
+        assert pipeline.session.stats.encodings_built == 1
+        program, failing = classify_failing_tests()
+        with pytest.warns(DeprecationWarning):
+            pipeline = BugAssistPipeline(program)
+        ranked = pipeline.localize_many(failing)
+        assert len(ranked.runs) == len(failing)
+        # The whole batch reused one compiled encoding.
+        assert pipeline.session.stats.encodings_built == 1
+
+
+@pytest.mark.slow
+class TestSessionOnTcas:
+    def test_session_matches_baseline_on_tcas_version(self):
+        from repro.siemens.suite import TCAS_HARNESS_LINES, classify_tcas_tests
+        from repro.siemens.tcas import tcas_faulty_program
+
+        failing, _ = classify_tcas_tests("v2", count=300)
+        selected = failing[:3]
+        program = tcas_faulty_program("v2")
+        localizer = BugAssistLocalizer(
+            program, mode="program", hard_lines=TCAS_HARNESS_LINES
+        )
+        with LocalizationSession(
+            program, hard_lines=TCAS_HARNESS_LINES
+        ) as session:
+            for vector, expected in selected:
+                spec = Specification.return_value(expected)
+                mine = session.localize(vector.as_list(), spec)
+                theirs = localizer.localize_test(vector.as_list(), spec)
+                assert set(mine.lines) == set(theirs.lines)
+        assert session.stats.encodings_built == 1
