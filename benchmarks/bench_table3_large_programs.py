@@ -8,7 +8,12 @@ number of reported fault locations, and the run time.
 Besides the human-readable table, the run writes ``BENCH_table3.json`` at
 the repository root — one record per benchmark with the clause counts, the
 number of SAT calls and the wall time — so the performance trajectory can be
-tracked across PRs.
+tracked across PRs.  Each record also carries *why*-a-row-moved fields:
+``propagations_per_second`` (solver throughput, which reflects whether the
+C propagation core or the pure-Python fallback ran), ``gates_shared`` (how
+many gates the structure-hashed circuit cache deduplicated while encoding)
+and ``simplifier`` (the encoder configuration), plus ``propagation_backend``
+at the top of every record batch via the per-row field.
 """
 
 from __future__ import annotations
@@ -67,6 +72,8 @@ def test_table3_report():
 
 
 def _write_bench_json() -> None:
+    from repro.sat import propagation_backend
+
     payload = [
         {
             "name": row.name,
@@ -79,6 +86,10 @@ def _write_bench_json() -> None:
             "maxsat_calls": row.maxsat_calls,
             "sat_calls": row.sat_calls,
             "time_seconds": round(row.time_seconds, 3),
+            "propagations_per_second": round(row.propagations_per_second),
+            "gates_shared": row.gates_shared,
+            "simplifier": row.simplifier,
+            "propagation_backend": propagation_backend(),
         }
         for row in _rows.values()
     ]

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.bmc.compiled import CompiledProgram
-from repro.encoding.circuits import Bits, CircuitBuilder
+from repro.encoding.circuits import Bits, CircuitBuilder, simplifier_name
 from repro.encoding.context import EncodingContext, StatementGroup
 from repro.encoding.symbolic import ExpressionEncoder
 from repro.encoding.trace import TraceFormula, TraceStep
@@ -70,13 +70,15 @@ class BoundedModelChecker:
         max_call_depth: int = 24,
         group_statements: bool = False,
         hard_functions: Iterable[str] = (),
+        simplify: bool = True,
     ) -> None:
         """Configure the checker.
 
         With ``group_statements`` the clauses of every statement are routed
         into a per-line clause group (needed for localization); functions in
         ``hard_functions`` keep their clauses hard (library code that is not
-        a candidate bug location).
+        a candidate bug location).  ``simplify`` toggles the structure-hashed
+        gate cache of the circuit builder.
         """
         self.program = program
         self.width = width
@@ -84,6 +86,7 @@ class BoundedModelChecker:
         self.max_call_depth = max_call_depth
         self.group_statements = group_statements
         self.hard_functions = set(hard_functions)
+        self.simplify = simplify
 
     # ------------------------------------------------------------------ API
 
@@ -148,6 +151,9 @@ class BoundedModelChecker:
             return_bits=return_bits,
             violations=tuple(self._violations),
             true_lit=context._true_lit,
+            gates_shared=context.gate_hits,
+            simplifier=simplifier_name(self.simplify),
+            signature=context.gate_signature,
         )
 
     def encode_program_formula(
@@ -199,8 +205,11 @@ class BoundedModelChecker:
             return builder.fresh()
         callee = self.program.function(call.name)
         frame = _Frame(function=call.name, active=builder.true)
+        force_binding = call.name in self.hard_functions
         for param, arg in zip(callee.params, call.args):
-            frame.variables[param] = self._encoder.encode(arg)
+            frame.variables[param] = self._encoder.encode_argument(
+                arg, force=force_binding
+            )
         guard = self._current_guard
         self._run_function(callee, frame, guard)
         if frame.return_value is None:
@@ -215,7 +224,7 @@ class BoundedModelChecker:
     def _encode(self, entry: str) -> tuple[dict[str, Bits], Optional[Bits]]:
         """Encode the whole program; returns (input bit-vectors, return bits)."""
         self._context = EncodingContext(self.width)
-        self._builder = CircuitBuilder(self._context)
+        self._builder = CircuitBuilder(self._context, simplify=self.simplify)
         self._encoder = ExpressionEncoder(self._builder, self)
         self._violations: list[tuple[int, int]] = []
         self._nondet_bits: list[Bits] = []
@@ -365,8 +374,11 @@ class BoundedModelChecker:
                 self._violations.append((stmt.line, violation))
             self._record(stmt, "assert")
         elif isinstance(stmt, ast.Assume):
-            with self._context.group(group):
-                condition = self._encoder.encode_bool(stmt.cond)
+            # The condition gets its own relaxable copy (like branch
+            # conditions): the enforcing clause below is hard, so the
+            # statement group must own the link between the circuit and the
+            # enforced literal for the assumption to stay a candidate.
+            condition = self._encode_condition(stmt.cond, group)
             self._context.emit_hard([-self._effective(guard), condition])
             self._record(stmt, "assume")
         elif isinstance(stmt, ast.ExprStmt):

@@ -55,6 +55,12 @@ class CompiledProgram:
     return_bits: Optional[Bits] = None
     violations: tuple[tuple[int, int], ...] = ()
     true_lit: Optional[int] = None
+    #: Structure-hashing statistics of the compile (gate-cache hits).
+    gates_shared: int = 0
+    #: Name of the circuit simplifier configuration used by the compile.
+    simplifier: str = ""
+    #: Structural gate-cache signature (keys cross-test core archives).
+    signature: str = ""
 
     # ------------------------------------------------------------ statistics
 
@@ -215,6 +221,9 @@ class CompiledProgram:
             steps=list(self.steps),
             test_inputs=test_inputs,
             assertion_description=spec.describe(),
+            gates_shared=self.gates_shared,
+            simplifier=self.simplifier,
+            signature=self.signature,
         )
 
     def base_formula(self) -> TraceFormula:
@@ -232,4 +241,7 @@ class CompiledProgram:
             steps=list(self.steps),
             test_inputs={},
             assertion_description="",
+            gates_shared=self.gates_shared,
+            simplifier=self.simplifier,
+            signature=self.signature,
         )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
-from repro.encoding.circuits import Bits, CircuitBuilder
+from repro.encoding.circuits import Bits, CircuitBuilder, simplifier_name
 from repro.encoding.context import EncodingContext, StatementGroup
 from repro.encoding.symbolic import ExpressionEncoder, expression_has_effects
 from repro.encoding.trace import TraceFormula, TraceStep
@@ -65,6 +65,7 @@ class ConcolicTracer:
         loop_iteration_groups: bool = False,
         hard_functions: Iterable[str] = (),
         relevant_lines: Optional[Iterable[int]] = None,
+        simplify: bool = True,
     ) -> None:
         """Create a tracer.
 
@@ -77,6 +78,8 @@ class ConcolicTracer:
         ``relevant_lines`` restricts symbolic encoding to the given source
         lines (the slicing trace-reduction technique): assignments outside
         the slice are executed concretely and contribute no clauses.
+        ``simplify`` toggles the structure-hashed gate cache and the
+        constant-aware arithmetic rewrites of the circuit builder.
         """
         self.program = program
         self.width = width
@@ -85,6 +88,7 @@ class ConcolicTracer:
         self.hard_functions = set(hard_functions)
         self.loop_iteration_groups = loop_iteration_groups
         self.relevant_lines = set(relevant_lines) if relevant_lines is not None else None
+        self.simplify = simplify
 
     # ------------------------------------------------------------------ API
 
@@ -101,7 +105,7 @@ class ConcolicTracer:
         specification (the formula would not be unsatisfiable in that case).
         """
         self._context = EncodingContext(self.width)
-        self._builder = CircuitBuilder(self._context)
+        self._builder = CircuitBuilder(self._context, simplify=self.simplify)
         self._encoder = ExpressionEncoder(self._builder, self)
         self._steps: list[TraceStep] = []
         self._step_count = 0
@@ -177,6 +181,7 @@ class ConcolicTracer:
             steps=self._steps,
             test_inputs=self._test_inputs,
             assertion_description=description,
+            simplifier=simplifier_name(self.simplify),
         )
 
     # ----------------------------------------------------- resolver protocol
@@ -211,8 +216,9 @@ class ConcolicTracer:
         callee = self.program.function(call.name)
         argument_values: dict[str, int] = {}
         argument_bits: dict[str, Bits] = {}
+        force_binding = call.name in self.hard_functions
         for param, arg in zip(callee.params, call.args):
-            bits = self._encoder.encode(arg)
+            bits = self._encoder.encode_argument(arg, force=force_binding)
             argument_bits[param] = bits
             argument_values[param] = self._concrete_eval(arg)
         if call.name in self.concrete_functions:
@@ -238,6 +244,7 @@ class ConcolicTracer:
             return self._concrete_eval(expr)
         except TraceError:
             return None
+
 
     # --------------------------------------------------------------- running
 

@@ -157,6 +157,7 @@ class BugAssistLocalizer:
         engine.load(wcnf)
         run_comss_loop(engine, report, self.max_candidates)
         report.sat_calls = engine.sat_calls
+        report.propagations = engine.solver_stats.propagations
         report.time_seconds = time.perf_counter() - started
         return report
 

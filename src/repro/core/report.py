@@ -41,6 +41,9 @@ class LocalizationReport:
     trace_clauses: int = 0
     maxsat_calls: int = 0
     sat_calls: int = 0
+    #: Unit propagations performed by the SAT solver for this run (for a
+    #: session run: inside this test's layer only).
+    propagations: int = 0
     time_seconds: float = 0.0
 
     @property

@@ -212,6 +212,7 @@ class LocalizationSession:
             if self.warm_start:
                 engine.set_phases(compiled.phase_hints(test_inputs))
             run_comss_loop(engine, report, self.max_candidates)
+            report.propagations = engine.layer_stats().propagations
         finally:
             engine.pop_layer()
         report.sat_calls = engine.sat_calls - sat_calls_before

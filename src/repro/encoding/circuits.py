@@ -6,8 +6,22 @@ its negation), which lets the builder constant-fold aggressively — the
 "constant-folding input-independent parts of the constraints" optimisation
 the paper borrows from concolic execution.
 
-All emitted clauses go through :meth:`EncodingContext.emit`, so whatever
-statement group is active when an operation is encoded owns its clauses.
+With ``simplify=True`` (the default) the builder additionally performs
+AIG-style *structure hashing*: every ``bit_and`` / ``bit_xor`` / ``bit_ite``
+looks up a canonicalized ``(op, a, b)`` key in a gate cache before emitting
+Tseitin clauses, so a subterm that is re-encoded — the same ``rows * cols``
+guard on every loop iteration, the same comparison across statement groups —
+reuses the one existing gate instead of bit-blasting a fresh copy.  Gate
+*definitions* are emitted through :meth:`EncodingContext.emit_gate` (into
+the hard set): a Tseitin definition with a fresh output is total, so sharing
+it across statement groups never couples those groups' relaxation — the
+relaxable output bindings still go through :meth:`EncodingContext.emit` and
+stay owned by the active group.
+
+Statement-level clause emissions (:meth:`CircuitBuilder.assert_equal`,
+:meth:`CircuitBuilder.force_true`, :meth:`CircuitBuilder.fix_to_value`, and
+direct :meth:`EncodingContext.emit` calls) are unaffected: whatever
+statement group is active when an operation is encoded owns those clauses.
 """
 
 from __future__ import annotations
@@ -20,12 +34,34 @@ from repro.lang.semantics import to_unsigned
 Bits = tuple[int, ...]
 
 
-class CircuitBuilder:
-    """Builds bit-vector circuits over an :class:`EncodingContext`."""
+def simplifier_name(simplify: bool) -> str:
+    """The benchmark-facing name of the active circuit-encoder configuration."""
+    return "gate-hash+const-fold" if simplify else "none"
 
-    def __init__(self, context: EncodingContext) -> None:
+
+#: Opcode tags folded into the structural gate signature.
+_OP_AND = 1
+_OP_XOR = 2
+_OP_ITE = 3
+_OP_XOR3 = 4
+_OP_MAJ = 5
+
+
+class CircuitBuilder:
+    """Builds bit-vector circuits over an :class:`EncodingContext`.
+
+    ``simplify`` enables the structure-hashed gate cache plus the
+    constant-aware arithmetic rewrites (shift-add decomposition of
+    multiplications by constants); with ``simplify=False`` the builder
+    reproduces the historical one-gate-per-call Tseitin encoding, which the
+    property-based equivalence suite uses as the reference.
+    """
+
+    def __init__(self, context: EncodingContext, simplify: bool = True) -> None:
         self.context = context
         self.width = context.width
+        self.simplify = simplify
+        self._gate_cache: dict[tuple[int, int, int], int] = {}
 
     # ----------------------------------------------------------- bit helpers
 
@@ -59,10 +95,27 @@ class CircuitBuilder:
             return a
         if a == -b:
             return self.false
-        out = self.context.new_var()
-        self.context.emit([-a, -b, out])
-        self.context.emit([a, -out])
-        self.context.emit([b, -out])
+        context = self.context
+        if not self.simplify:
+            out = context.new_var()
+            context.emit([-a, -b, out])
+            context.emit([a, -out])
+            context.emit([b, -out])
+            return out
+        if a > b:
+            a, b = b, a
+        key = (_OP_AND, a, b)
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            context.gate_hits += 1
+            return cached
+        out = context.new_var()
+        context.emit_gate([-a, -b, out])
+        context.emit_gate([a, -out])
+        context.emit_gate([b, -out])
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_AND, a, b, out)
         return out
 
     def bit_or(self, a: int, b: int) -> int:
@@ -78,12 +131,34 @@ class CircuitBuilder:
             return self.false
         if a == -b:
             return self.true
-        out = self.context.new_var()
-        self.context.emit([-a, -b, -out])
-        self.context.emit([a, b, -out])
-        self.context.emit([-a, b, out])
-        self.context.emit([a, -b, out])
-        return out
+        context = self.context
+        if not self.simplify:
+            out = context.new_var()
+            context.emit([-a, -b, -out])
+            context.emit([a, b, -out])
+            context.emit([-a, b, out])
+            context.emit([a, -b, out])
+            return out
+        # XOR is invariant under negating both inputs and flips under
+        # negating one: canonicalize to positive inputs and carry the sign.
+        sign = (a < 0) != (b < 0)
+        pa, pb = abs(a), abs(b)
+        if pa > pb:
+            pa, pb = pb, pa
+        key = (_OP_XOR, pa, pb)
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            context.gate_hits += 1
+            return -cached if sign else cached
+        out = context.new_var()
+        context.emit_gate([-pa, -pb, -out])
+        context.emit_gate([pa, pb, -out])
+        context.emit_gate([-pa, pb, out])
+        context.emit_gate([pa, -pb, out])
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_XOR, pa, pb, out)
+        return -out if sign else out
 
     def bit_and_many(self, lits: Sequence[int]) -> int:
         result = self.true
@@ -105,15 +180,146 @@ class CircuitBuilder:
             return else_lit
         if then_lit == else_lit:
             return then_lit
-        out = self.context.new_var()
-        self.context.emit([-cond, -then_lit, out])
-        self.context.emit([-cond, then_lit, -out])
-        self.context.emit([cond, -else_lit, out])
-        self.context.emit([cond, else_lit, -out])
+        context = self.context
+        if not self.simplify:
+            out = context.new_var()
+            context.emit([-cond, -then_lit, out])
+            context.emit([-cond, then_lit, -out])
+            context.emit([cond, -else_lit, out])
+            context.emit([cond, else_lit, -out])
+            return out
+        # Constant branches reduce to AND/OR/XNOR gates, which hash better.
+        then_const = self._const_value(then_lit)
+        else_const = self._const_value(else_lit)
+        if then_const is True:
+            return self.bit_or(cond, else_lit)
+        if then_const is False:
+            return self.bit_and(-cond, else_lit)
+        if else_const is True:
+            return self.bit_or(-cond, then_lit)
+        if else_const is False:
+            return self.bit_and(cond, then_lit)
+        if then_lit == -else_lit:
+            return -self.bit_xor(cond, then_lit)
+        # ite(!c, t, e) == ite(c, e, t): canonicalize to a positive condition.
+        if cond < 0:
+            cond, then_lit, else_lit = -cond, else_lit, then_lit
+        key = (_OP_ITE, cond * (1 << 32) + then_lit, else_lit)
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            context.gate_hits += 1
+            return cached
+        out = context.new_var()
+        context.emit_gate([-cond, -then_lit, out])
+        context.emit_gate([-cond, then_lit, -out])
+        context.emit_gate([cond, -else_lit, out])
+        context.emit_gate([cond, else_lit, -out])
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_ITE, cond * (1 << 32) + then_lit, else_lit, out)
         return out
 
     def bit_equal(self, a: int, b: int) -> int:
         return -self.bit_xor(a, b)
+
+    def bit_xor3(self, a: int, b: int, c: int) -> int:
+        """Three-input parity, encoded as one 8-clause gate when hashing.
+
+        The workhorse of the ripple-carry adder: a direct XOR3 gate costs 8
+        clauses and one auxiliary variable where the composed
+        ``xor(xor(a, b), c)`` costs 8 clauses and *two* auxiliaries — and the
+        single canonical key hashes better across repeated adder chains.
+        """
+        if not self.simplify:
+            return self.bit_xor(self.bit_xor(a, b), c)
+        # Fold constants and cancelling pairs: parity is invariant under
+        # removing (x, x) and flips under removing (x, -x) or a true input.
+        sign = False
+        lits: list[int] = []
+        for lit in (a, b, c):
+            value = self._const_value(lit)
+            if value is None:
+                if lit < 0:
+                    sign = not sign
+                    lit = -lit
+                lits.append(lit)
+            elif value:
+                sign = not sign
+        by_var: dict[int, int] = {}
+        for lit in lits:
+            by_var[lit] = by_var.get(lit, 0) + 1
+        reduced = sorted(lit for lit, count in by_var.items() if count % 2)
+        if not reduced:
+            return self.false if not sign else self.true
+        if len(reduced) == 1:
+            return -reduced[0] if sign else reduced[0]
+        if len(reduced) == 2:
+            result = self.bit_xor(reduced[0], reduced[1])
+            return -result if sign else result
+        pa, pb, pc = reduced
+        context = self.context
+        key = (_OP_XOR3, pa * (1 << 32) + pb, pc)
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            context.gate_hits += 1
+            return -cached if sign else cached
+        out = context.new_var()
+        context.emit_gate([pa, pb, pc, -out])
+        context.emit_gate([pa, -pb, -pc, -out])
+        context.emit_gate([-pa, pb, -pc, -out])
+        context.emit_gate([-pa, -pb, pc, -out])
+        context.emit_gate([-pa, -pb, -pc, out])
+        context.emit_gate([-pa, pb, pc, out])
+        context.emit_gate([pa, -pb, pc, out])
+        context.emit_gate([pa, pb, -pc, out])
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_XOR3, pa * (1 << 32) + pb, pc, out)
+        return -out if sign else out
+
+    def bit_majority(self, a: int, b: int, c: int) -> int:
+        """Three-input majority (the full adder's carry-out), one 6-clause gate.
+
+        Composed, the carry ``(a and b) or ((a xor b) and c)`` costs 9
+        clauses and three auxiliaries; the direct gate costs 6 and one.
+        """
+        if not self.simplify:
+            return self.bit_or(self.bit_and(a, b), self.bit_and(self.bit_xor(a, b), c))
+        for first, second, third in ((a, b, c), (b, c, a), (c, a, b)):
+            value = self._const_value(first)
+            if value is True:
+                return self.bit_or(second, third)
+            if value is False:
+                return self.bit_and(second, third)
+            if second == third:
+                return second
+            if second == -third:
+                return first
+        # maj(-a, -b, -c) == -maj(a, b, c): canonicalize to at most one
+        # negative input and carry the sign on the output.
+        sign = False
+        lits = [a, b, c]
+        if sum(1 for lit in lits if lit < 0) >= 2:
+            sign = True
+            lits = [-lit for lit in lits]
+        pa, pb, pc = sorted(lits)
+        context = self.context
+        key = (_OP_MAJ, pa * (1 << 32) + pb, pc)
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            context.gate_hits += 1
+            return -cached if sign else cached
+        out = context.new_var()
+        context.emit_gate([-pa, -pb, out])
+        context.emit_gate([-pa, -pc, out])
+        context.emit_gate([-pb, -pc, out])
+        context.emit_gate([pa, pb, -out])
+        context.emit_gate([pa, pc, -out])
+        context.emit_gate([pb, pc, -out])
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_MAJ, pa * (1 << 32) + pb, pc, out)
+        return -out if sign else out
 
     def force_true(self, lit: int) -> None:
         """Emit a unit clause making ``lit`` true (in the active group)."""
@@ -169,6 +375,11 @@ class CircuitBuilder:
         assert len(a) == len(b)
         carry = carry_in if carry_in is not None else self.false
         out: list[int] = []
+        if self.simplify:
+            for bit_a, bit_b in zip(a, b):
+                out.append(self.bit_xor3(bit_a, bit_b, carry))
+                carry = self.bit_majority(bit_a, bit_b, carry)
+            return tuple(out)
         for bit_a, bit_b in zip(a, b):
             partial = self.bit_xor(bit_a, bit_b)
             out.append(self.bit_xor(partial, carry))
@@ -186,8 +397,27 @@ class CircuitBuilder:
         return self.sub(zero, a)
 
     def multiply(self, a: Bits, b: Bits, width: Optional[int] = None) -> Bits:
-        """Shift-and-add multiplier truncated to ``width`` bits."""
+        """Shift-and-add multiplier truncated to ``width`` bits.
+
+        Constant-aware: a fully constant operand becomes the control side,
+        so the product decomposes into shift-adds of the other operand at
+        the constant's set bits (no partial-product AND gates at all), and
+        a fully constant pair folds to a constant outright.  Partial-product
+        rows whose control bit is a known ``false`` are dropped, and rows
+        masked by constant multiplicand bits fold through the constant
+        propagation in :meth:`bit_and`/:meth:`add`.
+        """
         width = width or len(a)
+        if self.simplify:
+            const_a = self.constant_of(a)
+            const_b = self.constant_of(b)
+            if const_a is not None and const_b is not None:
+                product = to_unsigned(const_a, len(a)) * to_unsigned(const_b, len(b))
+                return self.const(product & ((1 << width) - 1), width)
+            if const_a is None and const_b is not None:
+                # Make the constant the control side: popcount(const) rows of
+                # pure shift-adds instead of a full partial-product array.
+                a, b = b, a
         accumulator = self.const(0, width)
         a_ext = self.zero_extend(a, width)
         b_ext = self.zero_extend(b, width)
@@ -239,13 +469,24 @@ class CircuitBuilder:
     # ------------------------------------------------------------ comparison
 
     def equals(self, a: Bits, b: Bits) -> int:
-        return self.bit_and_many(
-            [self.bit_equal(bit_a, bit_b) for bit_a, bit_b in zip(a, b)]
-        )
+        bits = [self.bit_equal(bit_a, bit_b) for bit_a, bit_b in zip(a, b)]
+        if self.simplify:
+            # MSB-first so the AND chain's high-bit prefix — identical across
+            # the nearby constants of an array-index comparison — hashes to
+            # one shared gate chain instead of one chain per constant.
+            bits.reverse()
+        return self.bit_and_many(bits)
 
     def unsigned_less(self, a: Bits, b: Bits) -> int:
         """a < b treating the vectors as unsigned integers."""
         less = self.false
+        if self.simplify:
+            # When the bits differ, "less so far" is exactly b's bit;
+            # otherwise the lower-order verdict stands: one XOR (shared with
+            # any equality chain on the same operands) plus one mux per bit.
+            for bit_a, bit_b in zip(a, b):  # LSB to MSB
+                less = self.bit_ite(self.bit_xor(bit_a, bit_b), bit_b, less)
+            return less
         for bit_a, bit_b in zip(a, b):  # LSB to MSB
             eq = self.bit_equal(bit_a, bit_b)
             lt = self.bit_and(-bit_a, bit_b)

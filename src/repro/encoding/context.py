@@ -38,6 +38,17 @@ class EncodingContext:
     the asserted post-condition, auxiliary structure) or into the clause
     group of the statement currently being encoded.  Which destination is
     active is controlled with the :meth:`group` context manager.
+
+    *Gate* clauses — the Tseitin definitions emitted by the structure-hashed
+    :class:`~repro.encoding.circuits.CircuitBuilder` — are routed into the
+    hard set through :meth:`emit_gate` regardless of the active group.  A
+    gate definition is total (it has a solution for every assignment to its
+    inputs, the output being a fresh variable), so making it hard never
+    constrains the program variables; it only allows one shared gate to be
+    referenced from several statement groups without tying those groups'
+    relaxation together.  The relaxable part of a statement — its output
+    bindings, branch units and assumptions — still goes through
+    :meth:`emit` and stays owned by the statement's group.
     """
 
     def __init__(self, width: int = 16) -> None:
@@ -47,6 +58,12 @@ class EncodingContext:
         self.groups: dict[StatementGroup, list[list[int]]] = {}
         self._current: Optional[StatementGroup] = None
         self._true_lit: Optional[int] = None
+        # Structure-hashing statistics, maintained by the CircuitBuilder.
+        self.gates_emitted = 0
+        self.gate_hits = 0
+        # Rolling FNV-1a hash over the canonical gate keys: a structural
+        # signature of the circuit, used to key cross-test core archives.
+        self._sig = 0xCBF29CE484222325
 
     # ------------------------------------------------------------ variables
 
@@ -75,6 +92,22 @@ class EncodingContext:
     def emit_hard(self, clause: list[int]) -> None:
         """Emit a clause into the hard set regardless of the active group."""
         self.hard.append(clause)
+
+    def emit_gate(self, clause: list[int]) -> None:
+        """Emit one clause of a (total) gate definition into the hard set."""
+        self.hard.append(clause)
+
+    def observe_gate(self, op: int, a: int, b: int, out: int) -> None:
+        """Fold one canonical gate key into the structural signature."""
+        sig = self._sig
+        for word in (op, a, b, out):
+            sig = ((sig ^ (word & 0xFFFFFFFF)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        self._sig = sig
+
+    @property
+    def gate_signature(self) -> str:
+        """Hex digest of the structural gate signature accumulated so far."""
+        return f"{self._sig:016x}"
 
     @contextmanager
     def group(self, group: Optional[StatementGroup]) -> Iterator[None]:

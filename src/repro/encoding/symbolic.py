@@ -99,6 +99,31 @@ class ExpressionEncoder:
         bits = self.encode(expr)
         return self.builder.is_nonzero(bits)
 
+    def encode_argument(self, arg: ast.Expr, force: bool = False) -> Bits:
+        """Encode a call argument behind a relaxable binding.
+
+        Under structure hashing the gates of the argument expression live in
+        the hard set, so the calling statement's group must own an explicit
+        output binding for the value it feeds into the callee — otherwise
+        relaxing the call could no longer free the argument (the
+        wrong-argument fault class of the strncat example).  Literal and
+        plain variable arguments carried no relaxable clauses before
+        structure hashing either, so they are only bound when ``force`` is
+        set, which callers do for *hard* callees: there the call statement
+        is the sole localization handle on the callee's behaviour.
+        """
+        builder = self.builder
+        bits = self.encode(arg)
+        if not builder.simplify:
+            return bits
+        if not force and isinstance(arg, (ast.IntLiteral, ast.VarRef)):
+            return bits
+        if builder.context.current_group is None:
+            return bits
+        bound = builder.fresh(len(bits))
+        builder.assert_equal(bound, bits)
+        return bound
+
     # ------------------------------------------------------------- internals
 
     def _encode_array_read(self, expr: ast.ArrayRef) -> Bits:

@@ -44,6 +44,12 @@ class TraceFormula:
     steps: list[TraceStep] = field(default_factory=list)
     test_inputs: dict[str, int] = field(default_factory=dict)
     assertion_description: str = ""
+    #: Number of gate-cache hits while encoding (structure-hash sharing).
+    gates_shared: int = 0
+    #: Name of the circuit simplifier configuration used by the encoder.
+    simplifier: str = ""
+    #: Structural signature of the gate cache (keys cross-test core reuse).
+    signature: str = ""
 
     # ------------------------------------------------------------ statistics
 
@@ -69,6 +75,7 @@ class TraceFormula:
         steps: list[TraceStep],
         test_inputs: dict[str, int],
         assertion_description: str = "",
+        simplifier: str = "",
     ) -> "TraceFormula":
         return cls(
             width=context.width,
@@ -78,6 +85,9 @@ class TraceFormula:
             steps=steps,
             test_inputs=dict(test_inputs),
             assertion_description=assertion_description,
+            gates_shared=context.gate_hits,
+            simplifier=simplifier,
+            signature=context.gate_signature,
         )
 
     # ------------------------------------------------------------ conversion
@@ -100,6 +110,7 @@ class TraceFormula:
         """
         wcnf = WCNF()
         wcnf._num_vars = self.num_vars  # reserve the trace-formula variables
+        wcnf.signature = self.signature or None
         for clause in self.hard:
             wcnf.add_hard(clause)
         selector_to_group: dict[int, StatementGroup] = {}

@@ -39,7 +39,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.maxsat.result import MaxSatResult
 from repro.maxsat.wcnf import WCNF
-from repro.sat import Solver
+from repro.sat import Solver, SolverStats
 
 
 @dataclass
@@ -68,6 +68,11 @@ class _EngineLayer:
     forced: set[int] = field(default_factory=set)
     blocks: int = 0
     block_selector: Optional[int] = None
+    #: Solver-statistics snapshot taken when the layer opened, so per-test
+    #: benchmark numbers report this layer's work only (not the session's
+    #: cumulative counters).
+    stats_mark: Optional["SolverStats"] = None
+    sat_calls_mark: int = 0
 
 
 class MaxSatEngine:
@@ -75,6 +80,8 @@ class MaxSatEngine:
 
     def __init__(self) -> None:
         self.sat_calls = 0
+        #: Structural signature of the loaded instance's encoding (if any).
+        self.signature: Optional[str] = None
         self._wcnf: Optional[WCNF] = None
         self._solver: Optional[Solver] = None
         self._bindings: list[_SoftBinding] = []
@@ -132,6 +139,7 @@ class MaxSatEngine:
         self._wcnf = wcnf
         self._solver = solver
         self._bindings = bindings
+        self.signature = getattr(wcnf, "signature", None)
         self._assumption_to_binding = {b.assumption: b for b in bindings}
         self._hard_checked = False
         self._hard_ok = False
@@ -172,6 +180,8 @@ class MaxSatEngine:
                 forced=set(self._layer_forced),
                 blocks=self._blocks,
                 block_selector=self._block_selector,
+                stats_mark=self._solver.stats.snapshot(),
+                sat_calls_mark=self.sat_calls,
             )
         )
         self._hard_checked = False
@@ -212,6 +222,36 @@ class MaxSatEngine:
         if self._solver is None:
             raise RuntimeError("no instance loaded; call load() first")
         self._solver.set_phases(phases)
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def solver_stats(self) -> SolverStats:
+        """Cumulative statistics of the engine's persistent solver."""
+        if self._solver is None:
+            return SolverStats()
+        return self._solver.stats
+
+    def layer_stats(self) -> SolverStats:
+        """Solver-statistics delta accumulated inside the innermost layer.
+
+        On a long-lived session solver the cumulative counters mix every
+        test localized so far; this reports only the work done since the
+        innermost :meth:`push_layer`, so per-test benchmark numbers are not
+        polluted by earlier tests.  Outside any layer it returns the
+        cumulative statistics.
+        """
+        if self._solver is None:
+            return SolverStats()
+        if not self._layers or self._layers[-1].stats_mark is None:
+            return self._solver.stats.snapshot()
+        return self._solver.stats.since(self._layers[-1].stats_mark)
+
+    def layer_sat_calls(self) -> int:
+        """SAT calls issued inside the innermost layer (all calls if none)."""
+        if not self._layers:
+            return self.sat_calls
+        return self.sat_calls - self._layers[-1].sat_calls_mark
 
     def block(self, falsified: Sequence[int], retire: bool = True) -> None:
         """Block a correction set with a hard clause on the live solver.

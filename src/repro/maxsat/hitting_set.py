@@ -24,6 +24,12 @@ from repro.maxsat.result import MaxSatResult
 #: Upper bound on archived cross-layer candidate cores (newest kept).
 MAX_STALE_CORES = 64
 
+#: Bounds for the *post-blocking* core archive: cores mined after blocking
+#: started, keyed by (encoding signature, retired-binding set) so they are
+#: only offered again in an equivalent blocking context.
+MAX_POST_KEYS = 32
+MAX_POST_CORES_PER_KEY = 16
+
 
 class HittingSetMaxSat(MaxSatEngine):
     """Exact weighted partial MaxSAT via implicit hitting sets.
@@ -42,8 +48,14 @@ class HittingSetMaxSat(MaxSatEngine):
     start of the next layer with one cheap budgeted SAT probe each; the
     ones that hold seed the oracle, replacing the expensive
     full-assumption core-mining calls of the first enumeration step.
-    (Cores mined after blocking started are conditioned on the retracted
-    blocking sequence and rarely revalidate, so they are not archived.)
+
+    Cores mined *after* blocking started are conditioned on the blocking
+    sequence, so they are archived separately, keyed by the encoding's
+    gate-cache signature plus the exact set of retired bindings at mining
+    time, and only offered again when a later test reaches the equivalent
+    blocking context (reuse only — the probe budget and search strategy are
+    unchanged).  The archives survive :meth:`load` when the new instance
+    carries the same structural signature.
     """
 
     def __init__(self, max_iterations: int = 100000) -> None:
@@ -53,6 +65,10 @@ class HittingSetMaxSat(MaxSatEngine):
         self._core_snapshots: list[list[frozenset[int]]] = []
         self._stale_cores: list[frozenset[int]] = []
         self._stale_misses: dict[frozenset[int], int] = {}
+        self._stale_post_cores: dict[tuple, list[frozenset[int]]] = {}
+        self._post_misses: dict[frozenset[int], int] = {}
+        self._probed_post_keys: set[tuple] = set()
+        self._archive_signature: Optional[str] = None
         self._probed = False
         self._volatile: set[int] = set()
         self._volatile_order: list[int] = []
@@ -62,8 +78,18 @@ class HittingSetMaxSat(MaxSatEngine):
     def _on_load(self) -> None:
         self.cores = []
         self._core_snapshots = []
-        self._stale_cores = []
-        self._stale_misses = {}
+        # Candidate archives survive a reload of the *same* encoding (equal
+        # gate-cache signature); anything else starts from scratch.
+        same_encoding = (
+            self.signature is not None and self.signature == self._archive_signature
+        )
+        if not same_encoding:
+            self._stale_cores = []
+            self._stale_misses = {}
+            self._stale_post_cores = {}
+            self._post_misses = {}
+        self._archive_signature = self.signature
+        self._probed_post_keys = set()
         self._probed = False
         self._volatile = set()
         self._volatile_order = []
@@ -101,6 +127,7 @@ class HittingSetMaxSat(MaxSatEngine):
         # (the per-test units); they become invalid once the layer is popped.
         self._core_snapshots.append(list(self.cores))
         self._probed = False
+        self._probed_post_keys = set()
         # The tie-breaking hint is per-layer: a stale hitting set from the
         # previous test would drag ties toward its late-enumeration shape.
         self._last_hitting_set = set()
@@ -108,6 +135,7 @@ class HittingSetMaxSat(MaxSatEngine):
     def _on_pop(self) -> None:
         self.cores = self._core_snapshots.pop()
         self._probed = False
+        self._probed_post_keys = set()
 
     def _archive(self, core: frozenset[int]) -> None:
         """Remember a discovered core as a candidate for future layers."""
@@ -117,7 +145,44 @@ class HittingSetMaxSat(MaxSatEngine):
             while len(shelf) > MAX_STALE_CORES:
                 self._stale_misses.pop(shelf.pop(0), None)
 
+    def _blocking_context(self) -> frozenset[int]:
+        """The set of retired binding positions (the blocking state key)."""
+        return frozenset(
+            binding.position for binding in self._bindings if not binding.active
+        )
+
+    def _archive_post(self, core: frozenset[int]) -> None:
+        """Archive a post-blocking core under its exact blocking context."""
+        key = (self.signature, self._blocking_context())
+        shelf = self._stale_post_cores.setdefault(key, [])
+        if core not in shelf:
+            shelf.append(core)
+            while len(shelf) > MAX_POST_CORES_PER_KEY:
+                self._post_misses.pop(shelf.pop(0), None)
+        while len(self._stale_post_cores) > MAX_POST_KEYS:
+            oldest = next(iter(self._stale_post_cores))
+            for old in self._stale_post_cores.pop(oldest):
+                self._post_misses.pop(old, None)
+
     def _validate_stale_cores(self) -> None:
+        """Promote archived pre-blocking candidates that hold in this layer."""
+        self._probe_candidates(self._stale_cores, self._stale_misses)
+
+    def _validate_post_cores(self) -> None:
+        """Probe the post-blocking archive for the current blocking context."""
+        key = (self.signature, self._blocking_context())
+        if key in self._probed_post_keys:
+            return
+        self._probed_post_keys.add(key)
+        shelf = self._stale_post_cores.get(key)
+        if shelf:
+            self._probe_candidates(shelf, self._post_misses)
+
+    def _probe_candidates(
+        self,
+        shelf: list[frozenset[int]],
+        misses: dict[frozenset[int], int],
+    ) -> None:
         """Promote archived candidate cores that hold under this layer.
 
         Each candidate is checked with a SAT call assuming only its own
@@ -125,7 +190,6 @@ class HittingSetMaxSat(MaxSatEngine):
         mining call it replaces.  UNSAT confirms (and possibly shrinks) the
         core; SAT (or an exhausted probe budget) discards it.
         """
-        shelf = self._stale_cores
         if not shelf:
             return
         seen = set(self.cores)
@@ -152,13 +216,13 @@ class HittingSetMaxSat(MaxSatEngine):
             if outcome is not False:
                 # Candidates that keep failing validation are test-specific
                 # noise: stop probing them after a couple of misses.
-                misses = self._stale_misses.get(core, 0) + 1
-                self._stale_misses[core] = misses
-                if misses >= 2:
+                count = misses.get(core, 0) + 1
+                misses[core] = count
+                if count >= 2:
                     shelf.remove(core)
-                    self._stale_misses.pop(core, None)
+                    misses.pop(core, None)
                 continue
-            self._stale_misses.pop(core, None)
+            misses.pop(core, None)
             refined = frozenset(
                 self._assumption_to_binding[lit].position
                 for lit in self._solver.unsat_core()
@@ -205,6 +269,10 @@ class HittingSetMaxSat(MaxSatEngine):
         if self._layers and not self._probed:
             self._probed = True
             self._validate_stale_cores()
+        if self._layers and self._blocks > self._layers[-1].blocks:
+            # Mid-enumeration: a previous test may have archived the cores
+            # it mined at this exact blocking context — seed from them.
+            self._validate_post_cores()
         weights = [binding.weight for binding in self._bindings]
         true_slot = self._true_slot
         for _ in range(self.max_iterations):
@@ -237,11 +305,15 @@ class HittingSetMaxSat(MaxSatEngine):
                 return self._unsatisfiable_result()
             self.cores.append(core)
             self._mark_volatile(core)
-            if self._layers and self._blocks == self._layers[-1].blocks:
-                # Candidate for the next layer.  Only the pre-blocking cores
-                # are worth archiving: deeper ones are conditioned on this
-                # layer's blocking sequence and rarely revalidate.
-                self._archive(core)
+            if self._layers:
+                if self._blocks == self._layers[-1].blocks:
+                    # Candidate for the next layer's opening enumeration.
+                    self._archive(core)
+                else:
+                    # Conditioned on the blocking sequence: archive under
+                    # the exact blocking context so an equivalent moment in
+                    # a later test can seed from it.
+                    self._archive_post(core)
         raise RuntimeError("hitting-set MaxSAT did not converge within the iteration budget")
 
 

@@ -11,11 +11,49 @@ needs:
   core-guided MaxSAT algorithms),
 * DIMACS CNF and WCNF reading/writing for interoperability and debugging.
 
+The hottest loop — unit propagation — optionally runs in a small C core
+compiled on first use (see :mod:`repro.sat._ccore` and ``propagate.c``);
+:func:`propagation_backend` reports which implementation new solvers will
+use (``"c"`` or ``"python"``), and the ``REPRO_PROPAGATION`` environment
+variable (``auto``/``python``/``c``) controls the selection.  Both backends
+implement the identical algorithm over the same flat clause-arena layout
+and produce identical models, conflicts and statistics.
+
 The public entry points are :class:`Solver`, :data:`TRUE_LIT` helpers in
 :mod:`repro.sat.literals`, and the DIMACS helpers in :mod:`repro.sat.dimacs`.
 """
 
 from repro.sat.literals import neg, lit_to_var, var_to_lit
-from repro.sat.solver import Solver, SolveResult
+from repro.sat.solver import Solver, SolveResult, SolverStats
 
-__all__ = ["Solver", "SolveResult", "neg", "lit_to_var", "var_to_lit"]
+
+def propagation_backend() -> str:
+    """Which propagation core new :class:`Solver` instances use by default.
+
+    ``"c"`` when the compiled core is (or can be) loaded, ``"python"``
+    otherwise.  Force the fallback with ``REPRO_PROPAGATION=python``;
+    require the C core with ``REPRO_PROPAGATION=c``.
+    """
+    from repro.sat import _ccore
+
+    return _ccore.backend()
+
+
+def propagation_core_unavailable_reason():
+    """Why the C core is unavailable (``None`` when it loaded fine)."""
+    from repro.sat import _ccore
+
+    _ccore.load_core()
+    return _ccore.unavailable_reason
+
+
+__all__ = [
+    "Solver",
+    "SolveResult",
+    "SolverStats",
+    "neg",
+    "lit_to_var",
+    "var_to_lit",
+    "propagation_backend",
+    "propagation_core_unavailable_reason",
+]

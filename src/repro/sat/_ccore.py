@@ -1,0 +1,150 @@
+"""Feature-checked loader for the C-accelerated propagation core.
+
+The solver's hottest loop — two-watched-literal unit propagation — exists
+twice: as a pure-Python loop (:meth:`Solver._propagate_python`, always
+available, always tested) and as ``propagate.c`` compiled to a tiny shared
+library at first use.  Both operate on the same flat ``array('l')`` buffers
+and implement the same algorithm step for step, so they produce identical
+assignments, conflicts and statistics.
+
+Selection is controlled by the ``REPRO_PROPAGATION`` environment variable:
+
+* ``auto`` (default) — use the C core when it can be built/loaded, fall
+  back to pure Python otherwise;
+* ``python`` — force the pure-Python loop (useful for debugging and for CI
+  to pin the fallback);
+* ``c`` — require the C core; raise if it cannot be loaded.
+
+The compiled artifact is cached under ``_build/`` next to this module,
+keyed by a hash of the C source, so rebuilding only happens when the source
+changes.  When the package directory is not writable, the core is compiled
+into a fresh private per-process temporary directory instead — cached
+artifacts are never loaded from shared locations other users could write.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).resolve().parent / "propagate.c"
+
+#: Why the C core is unavailable (diagnostic; None when it loaded).
+unavailable_reason: Optional[str] = None
+
+_loaded: Optional[ctypes.CDLL] = None
+_attempted = False
+
+
+def _requested_mode() -> str:
+    mode = os.environ.get("REPRO_PROPAGATION", "auto").strip().lower()
+    if mode not in ("auto", "python", "c"):
+        raise ValueError(
+            f"REPRO_PROPAGATION={mode!r}: expected 'auto', 'python' or 'c'"
+        )
+    return mode
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_dir() -> Optional[Path]:
+    """The package-local cache directory, or ``None`` when not writable.
+
+    Only the package-local directory is trusted for *reusing* a previously
+    compiled artifact: a shared temp location could be pre-seeded by another
+    local user with a malicious library of the expected name.  When the
+    package is not writable the loader compiles into a fresh private
+    per-process directory instead (no reuse).
+    """
+    local = _SOURCE.parent / "_build"
+    try:
+        local.mkdir(exist_ok=True)
+        probe = local / ".writable"
+        probe.touch()
+        probe.unlink()
+        return local
+    except OSError:
+        return None
+
+
+def _compile() -> Path:
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache = _build_dir()
+    out = None if cache is None else cache / f"_propagate_{digest}.so"
+    if out is not None and out.exists():
+        return out
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    if out is None:
+        # Private per-process directory (0700 by mkdtemp): built fresh every
+        # process, never loaded from a path another user could pre-create.
+        private = Path(tempfile.mkdtemp(prefix="repro-sat-"))
+        target = private / f"_propagate_{digest}.so"
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(target), str(_SOURCE)],
+            check=True,
+            capture_output=True,
+        )
+        return target
+    with tempfile.TemporaryDirectory(dir=str(out.parent)) as workdir:
+        staging = Path(workdir) / out.name
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(staging), str(_SOURCE)],
+            check=True,
+            capture_output=True,
+        )
+        # Atomic move so concurrent builders never load a half-written .so.
+        os.replace(staging, out)
+    return out
+
+
+def load_core() -> Optional[ctypes.CDLL]:
+    """Load (building if needed) the C core, or ``None`` when unavailable."""
+    global _loaded, _attempted, unavailable_reason
+    if _attempted:
+        return _loaded
+    _attempted = True
+    mode = _requested_mode()
+    if mode == "python":
+        unavailable_reason = "disabled by REPRO_PROPAGATION=python"
+        return None
+    try:
+        library = ctypes.CDLL(str(_compile()))
+        function = library.repro_propagate
+        function.restype = ctypes.c_long
+        function.argtypes = [ctypes.c_void_p] * 7
+        _loaded = library
+    except Exception as error:  # compiler missing, sandboxed tmpdir, ...
+        unavailable_reason = f"{type(error).__name__}: {error}"
+        if mode == "c":
+            raise RuntimeError(
+                f"REPRO_PROPAGATION=c but the C core failed to load: "
+                f"{unavailable_reason}"
+            ) from error
+        _loaded = None
+    return _loaded
+
+
+def propagate_function():
+    """The raw ``repro_propagate`` C function, or ``None``."""
+    library = load_core()
+    return None if library is None else library.repro_propagate
+
+
+def backend() -> str:
+    """Which propagation backend new :class:`Solver` instances will use."""
+    return "c" if load_core() is not None else "python"

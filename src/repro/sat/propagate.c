@@ -1,0 +1,114 @@
+/* The C-accelerated unit-propagation core of repro.sat.solver.
+ *
+ * This file implements exactly the same algorithm, over exactly the same
+ * flat data layout, as Solver._propagate_python — the pure-Python fallback.
+ * Any behavioural divergence between the two is a bug; the differential
+ * test suite (tests/test_sat_solver.py) compares models, conflicts and
+ * statistics of full solver runs across both backends.
+ *
+ * Data layout (all "long" words, allocated and owned by the Python side):
+ *
+ *   arena   clause arena.  A clause at offset `ref` occupies
+ *             arena[ref]     header: size << 2 | dead << 1 | learnt
+ *             arena[ref+1]   next watch pointer for watch slot 0
+ *             arena[ref+2]   next watch pointer for watch slot 1
+ *             arena[ref+3]   blocker literal for watch slot 0
+ *             arena[ref+4]   blocker literal for watch slot 1
+ *             arena[ref+5..] the literals (internal 2*var+sign encoding)
+ *           A watch pointer packs (ref << 1) | slot; 0 is the list end
+ *           (offset 0 of the arena is a sentinel, so no clause has ref 0).
+ *   heads   per-literal heads of the intrusive watcher lists.
+ *   assigns per-variable value: -1 unassigned, 0 false, 1 true (signed char).
+ *   levels  per-variable decision level.
+ *   reasons per-variable reason clause ref (0 = decision / no reason).
+ *   trail   the assignment trail (fixed capacity: one slot per variable).
+ *   state   [qhead, trail_len, current_level, propagation_counter].
+ *
+ * Returns the conflicting clause ref, or 0 when propagation completes.
+ */
+
+long repro_propagate(long *arena, long *heads, signed char *assigns,
+                     long *levels, long *reasons, long *trail, long *state)
+{
+    long qhead = state[0];
+    long trail_len = state[1];
+    long current_level = state[2];
+    long propagated = 0;
+
+    while (qhead < trail_len) {
+        long p = trail[qhead++];
+        propagated++;
+        long false_lit = p ^ 1;
+        long *prev = &heads[false_lit];
+        long ptr = *prev;
+        while (ptr) {
+            long ref = ptr >> 1;
+            long slot = ptr & 1;
+            long next = arena[ref + 1 + slot];
+            /* Blocker literal: when the cached literal is already true the
+             * clause is satisfied and needs no inspection at all. */
+            long blocker = arena[ref + 3 + slot];
+            signed char bval = assigns[blocker >> 1];
+            if (bval >= 0 && (bval ^ (blocker & 1)) == 1) {
+                prev = &arena[ref + 1 + slot];
+                ptr = next;
+                continue;
+            }
+            long base = ref + 5;
+            long other = arena[base + (1 - slot)];
+            if (other != blocker) {
+                signed char oval = assigns[other >> 1];
+                if (oval >= 0 && (oval ^ (other & 1)) == 1) {
+                    arena[ref + 3 + slot] = other; /* refresh the blocker */
+                    prev = &arena[ref + 1 + slot];
+                    ptr = next;
+                    continue;
+                }
+            }
+            long size = arena[ref] >> 2;
+            int moved = 0;
+            for (long k = 2; k < size; k++) {
+                long lit = arena[base + k];
+                signed char v = assigns[lit >> 1];
+                if (v < 0 || (v ^ (lit & 1)) == 1) {
+                    /* Move this watch slot to `lit`. */
+                    arena[base + slot] = lit;
+                    arena[base + k] = false_lit;
+                    arena[ref + 3 + slot] = other;
+                    arena[ref + 1 + slot] = heads[lit];
+                    heads[lit] = ptr;
+                    *prev = next;
+                    moved = 1;
+                    break;
+                }
+            }
+            if (moved) {
+                ptr = next;
+                continue;
+            }
+            /* No replacement: the clause is unit on `other` or conflicting. */
+            {
+                signed char oval = assigns[other >> 1];
+                if (oval >= 0 && (oval ^ (other & 1)) == 0) {
+                    state[0] = trail_len; /* consume the queue */
+                    state[1] = trail_len;
+                    state[3] += propagated;
+                    return ref;
+                }
+            }
+            {
+                long var = other >> 1;
+                assigns[var] = (signed char) ((other & 1) ^ 1);
+                levels[var] = current_level;
+                reasons[var] = ref;
+                trail[trail_len++] = other;
+            }
+            prev = &arena[ref + 1 + slot];
+            ptr = next;
+        }
+    }
+    state[0] = qhead;
+    state[1] = trail_len;
+    state[3] += propagated;
+    return 0;
+}

@@ -40,31 +40,44 @@ the reproduction:
   under the kept trail; otherwise the solver transparently falls back to
   a full restart from level 0.
 
+**Clause storage and propagation.**  Clauses live in one flat *arena* (a
+``long`` array) rather than as per-clause Python objects: a clause is an
+integer offset, its two watcher-list links and *blocker literals* are part
+of its header, and the per-literal watch lists are intrusive linked lists
+threaded through the arena.  The propagation loop skips clause inspection
+entirely when a watcher's cached blocker literal is already true.  Because
+the whole search state (arena, watch heads, assignments, levels, reasons,
+trail) is held in flat ``array('l')`` buffers when the optional
+C-accelerated core is available (see :mod:`repro.sat._ccore`), the hottest
+loop runs in C over the very same memory; the pure-Python loop implements
+the identical algorithm over plain lists and remains the always-tested
+fallback.  Both backends produce identical assignments, conflicts and
+statistics.
+
 Literals use the DIMACS convention (non-zero signed integers) at the API
 boundary and a packed even/odd encoding internally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
+from repro.sat import _ccore
 from repro.sat.heap import ActivityHeap
 
 _UNDEF = -1
 _FALSE = 0
 _TRUE = 1
 
+#: Arena words preceding a clause's literals: header, two watch links, two
+#: blocker literals.
+_HDR = 5
 
-class _Clause(list):
-    """A clause: a list of internal literals plus learnt-clause metadata."""
-
-    __slots__ = ("learnt", "activity")
-
-    def __init__(self, lits: Iterable[int], learnt: bool = False) -> None:
-        super().__init__(lits)
-        self.learnt = learnt
-        self.activity = 0.0
+#: Arena header flag bits.
+_FLAG_LEARNT = 1
+_FLAG_DEAD = 2
 
 
 @dataclass
@@ -72,12 +85,12 @@ class _Layer:
     """One retractable clause layer opened by :meth:`Solver.push`.
 
     ``selector`` is the layer's fresh selector variable; ``clauses`` are the
-    attached (length >= 2) clauses carrying ``-selector`` that must be
-    detached again when the layer is popped.
+    arena refs of the attached (length >= 2) clauses carrying ``-selector``
+    that must be detached again when the layer is popped.
     """
 
     selector: int
-    clauses: list["_Clause"] = field(default_factory=list)
+    clauses: list[int] = field(default_factory=list)
     clause_mark: int = 0  # len(solver._clauses) when the layer opened
 
 
@@ -92,7 +105,13 @@ class SolveResult:
 
 @dataclass
 class SolverStats:
-    """Cumulative solver statistics, exposed for benchmarks and ablations."""
+    """Cumulative solver statistics, exposed for benchmarks and ablations.
+
+    Counters only ever grow; per-phase numbers are obtained by
+    :meth:`snapshot` at the phase boundary and :meth:`since` afterwards,
+    which is how the MaxSAT engine reports clean per-layer (per-test)
+    statistics on a long-lived session solver.
+    """
 
     conflicts: int = 0
     decisions: int = 0
@@ -103,6 +122,23 @@ class SolverStats:
     solve_calls: int = 0
     max_vars: int = 0
     extra: dict = field(default_factory=dict)
+
+    def snapshot(self) -> "SolverStats":
+        """An immutable copy of the current counter values."""
+        return replace(self, extra=dict(self.extra))
+
+    def since(self, earlier: "SolverStats") -> "SolverStats":
+        """The counter deltas accumulated after ``earlier`` was snapshot."""
+        return SolverStats(
+            conflicts=self.conflicts - earlier.conflicts,
+            decisions=self.decisions - earlier.decisions,
+            propagations=self.propagations - earlier.propagations,
+            restarts=self.restarts - earlier.restarts,
+            learnt_clauses=self.learnt_clauses - earlier.learnt_clauses,
+            deleted_clauses=self.deleted_clauses - earlier.deleted_clauses,
+            solve_calls=self.solve_calls - earlier.solve_calls,
+            max_vars=self.max_vars,
+        )
 
 
 class Solver:
@@ -116,20 +152,53 @@ class Solver:
         solver.add_clause([-x, y])
         assert solver.solve()
         assert solver.model_value(y) is True
+
+    ``backend`` selects the propagation core: ``"c"`` (the compiled core;
+    raises when unavailable), ``"python"`` (the pure-Python loop), or
+    ``None`` for the process-wide default reported by
+    :func:`repro.sat.propagation_backend`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = _ccore.backend()
+        if backend not in ("c", "python"):
+            raise ValueError(f"unknown propagation backend {backend!r}")
+        if backend == "c" and _ccore.propagate_function() is None:
+            raise RuntimeError(
+                f"C propagation core unavailable: {_ccore.unavailable_reason}"
+            )
+        self.backend = backend
+        self._use_c = backend == "c"
+        if self._use_c:
+            # Flat C-addressable buffers: the compiled core walks these via
+            # raw pointers, the Python control plane via normal indexing.
+            self._arena = array("l", [0])
+            self._heads = array("l", [0, 0])
+            self._assigns = array("b", [_UNDEF])
+            self._level = array("l", [0])
+            self._reason = array("l", [0])
+            self._trail = array("l")
+            self._state = array("l", [0, 0, 0, 0])
+            self._cfn = _ccore.propagate_function()
+        else:
+            self._arena = [0]
+            self._heads = [0, 0]
+            self._assigns = [_UNDEF]
+            self._level = [0]
+            self._reason = [0]
+            self._trail = []
+            self._state = None
+            self._cfn = None
         self._num_vars = 0
-        self._clauses: list[_Clause] = []
-        self._learnts: list[_Clause] = []
-        self._watches: list[list[_Clause]] = [[], []]
-        self._assigns: list[int] = [_UNDEF]
-        self._level: list[int] = [0]
-        self._reason: list[Optional[_Clause]] = [None]
+        self._clauses: list[int] = []
+        self._learnts: list[int] = []
+        self._activity_of: dict[int, float] = {}
+        self._garbage = 0
+        self._trail_len = 0
         self._polarity: list[bool] = [False]
         self._activity: list[float] = [0.0]
         self._seen: list[int] = [0]
-        self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._order = ActivityHeap(self._activity)
@@ -169,12 +238,13 @@ class Solver:
         self._num_vars += 1
         self._assigns.append(_UNDEF)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(0)
         self._polarity.append(False)
         self._activity.append(0.0)
         self._seen.append(0)
-        self._watches.append([])
-        self._watches.append([])
+        self._heads.append(0)
+        self._heads.append(0)
+        self._trail.append(0)  # trail capacity: one slot per variable
         self._order.insert(self._num_vars)
         self.stats.max_vars = max(self.stats.max_vars, self._num_vars)
         return self._num_vars
@@ -229,24 +299,24 @@ class Solver:
             # Unit clauses are root facts: give up the kept trail so the
             # literal is fixed at level 0.
             self._cancel_to_root()
-            if not self._enqueue(internal[0], None):
+            if not self._enqueue(internal[0], 0):
                 self._ok = False
                 return False
             self._ok = self._propagate() is None
             return self._ok
-        clause = _Clause(internal, learnt=False)
-        if self._trail_lim and not self._place_under_trail(clause):
+        ref = self._alloc(internal, learnt=False)
+        if self._trail_lim and not self._place_under_trail(ref):
             # No placement kept the trail: restart from the root, where the
             # clause (its literals now unassigned or root-false) attaches
             # with the standard level-0 machinery.
             self._cancel_to_root()
-        self._attach(clause)
-        self._clauses.append(clause)
+        self._attach(ref)
+        self._clauses.append(ref)
         if layer is not None:
-            layer.clauses.append(clause)
+            layer.clauses.append(ref)
         return True
 
-    def _place_under_trail(self, clause: _Clause) -> bool:
+    def _place_under_trail(self, ref: int) -> bool:
         """Position a new clause's watches under a kept assumption trail.
 
         Backjumps just far enough that the clause is not conflicting: to
@@ -256,10 +326,14 @@ class Solver:
         root restart can place the clause (some literal is false at level
         0 in a way the simplification has not already removed).
         """
+        arena = self._arena
+        base = ref + _HDR
+        size = arena[ref] >> 2
         while True:
             first = second = -1
             max_level = 0
-            for position, ilit in enumerate(clause):
+            for position in range(size):
+                ilit = arena[base + position]
                 if self._lit_value(ilit) == _FALSE:
                     level = self._level[ilit >> 1]
                     if level > max_level:
@@ -273,8 +347,11 @@ class Solver:
                 # Two non-false literals: watch them; the clause cannot be
                 # unit or conflicting right now.  ``second > first`` always,
                 # so the two swaps cannot collide.
-                clause[0], clause[first] = clause[first], clause[0]
-                clause[1], clause[second] = clause[second], clause[1]
+                arena[base], arena[base + first] = arena[base + first], arena[base]
+                arena[base + 1], arena[base + second] = (
+                    arena[base + second],
+                    arena[base + 1],
+                )
                 return True
             if max_level == 0:
                 return False
@@ -283,16 +360,22 @@ class Solver:
                 # and enqueue there, watching the unit literal and one of the
                 # deepest false literals.
                 self._cancel_keeping(max_level)
-                unit = clause[first]
+                unit = arena[base + first]
                 if self._lit_value(unit) == _UNDEF:
-                    if not self._enqueue(unit, clause):  # pragma: no cover
+                    if not self._enqueue(unit, ref):  # pragma: no cover
                         return False
-                    self._qhead = min(self._qhead, len(self._trail) - 1)
-                clause[0], clause[first] = clause[first], clause[0]
-                for position in range(1, len(clause)):
-                    ilit = clause[position]
-                    if self._lit_value(ilit) == _FALSE and self._level[ilit >> 1] == max_level:
-                        clause[1], clause[position] = clause[position], clause[1]
+                    self._qhead = min(self._qhead, self._trail_len - 1)
+                arena[base], arena[base + first] = arena[base + first], arena[base]
+                for position in range(1, size):
+                    ilit = arena[base + position]
+                    if (
+                        self._lit_value(ilit) == _FALSE
+                        and self._level[ilit >> 1] == max_level
+                    ):
+                        arena[base + 1], arena[base + position] = (
+                            arena[base + position],
+                            arena[base + 1],
+                        )
                         break
                 return True
             # Conflicting: unassign the deepest false literals and retry.
@@ -524,9 +607,10 @@ class Solver:
             raise RuntimeError("no layer to pop")
         self._cancel_to_root()
         layer = self._layers.pop()
-        removed = set(map(id, layer.clauses))
-        for clause in layer.clauses:
-            self._detach(clause)
+        removed = set(layer.clauses)
+        for ref in layer.clauses:
+            self._detach(ref)
+            self._free(ref)
         # Every problem clause added since the layer opened belongs to it
         # (add_clause tags them all), so the layer's clauses are exactly the
         # tail of the clause list.
@@ -535,19 +619,30 @@ class Solver:
         # satisfied once ``-selector`` is fixed; drop them so the watch
         # lists do not silt up over a long session.
         dead_lit = self._to_internal(-layer.selector)
-        stale = [learnt for learnt in self._learnts if dead_lit in learnt]
+        arena = self._arena
+        stale: list[int] = []
+        for ref in self._learnts:
+            base = ref + _HDR
+            for index in range(base, base + (arena[ref] >> 2)):
+                if arena[index] == dead_lit:
+                    stale.append(ref)
+                    break
         if stale:
-            for learnt in stale:
-                self._detach(learnt)
-                removed.add(id(learnt))
-            self._learnts = [c for c in self._learnts if id(c) not in removed]
+            for ref in stale:
+                self._detach(ref)
+                self._free(ref)
+                removed.add(ref)
+            self._learnts = [ref for ref in self._learnts if ref not in removed]
         if removed:
             # Level-0 propagations may still name a retracted clause as their
             # reason; those reasons are never resolved against again, but the
-            # dangling references are cleared to keep the objects collectable.
+            # dangling references are cleared so compaction cannot remap them
+            # to a recycled slot.
+            reason = self._reason
             for var in range(1, self._num_vars + 1):
-                if self._reason[var] is not None and id(self._reason[var]) in removed:
-                    self._reason[var] = None
+                if reason[var] in removed:
+                    reason[var] = 0
+        self._maybe_compact()
         # The retraction unit is permanent even when outer layers are still
         # open (a popped layer can never be re-entered), so it must bypass
         # the layer tagging of add_clause.
@@ -592,86 +687,240 @@ class Solver:
             return _UNDEF
         return assign ^ (ilit & 1)
 
-    def _attach(self, clause: _Clause) -> None:
-        self._watches[clause[0]].append(clause)
-        self._watches[clause[1]].append(clause)
+    # ------------------------------------------------------- clause storage
 
-    def _enqueue(self, ilit: int, reason: Optional[_Clause]) -> bool:
+    def _alloc(self, lits: Sequence[int], learnt: bool) -> int:
+        """Append a clause to the arena; returns its ref (arena offset)."""
+        arena = self._arena
+        ref = len(arena)
+        arena.append(len(lits) << 2 | (_FLAG_LEARNT if learnt else 0))
+        arena.extend((0, 0, 0, 0))
+        arena.extend(lits)
+        return ref
+
+    def _attach(self, ref: int) -> None:
+        """Link the clause's two watch slots into the watcher lists.
+
+        Slot ``s`` watches the literal at position ``s``; its blocker is
+        initialised to the other watched literal.
+        """
+        arena = self._arena
+        heads = self._heads
+        base = ref + _HDR
+        lit0 = arena[base]
+        lit1 = arena[base + 1]
+        arena[ref + 3] = lit1
+        arena[ref + 4] = lit0
+        arena[ref + 1] = heads[lit0]
+        heads[lit0] = ref << 1
+        arena[ref + 2] = heads[lit1]
+        heads[lit1] = (ref << 1) | 1
+
+    def _detach(self, ref: int) -> None:
+        """Unlink both watch slots of a clause from the watcher lists."""
+        arena = self._arena
+        heads = self._heads
+        base = ref + _HDR
+        for slot in (0, 1):
+            lit = arena[base + slot]
+            target = (ref << 1) | slot
+            current = heads[lit]
+            if current == target:
+                heads[lit] = arena[ref + 1 + slot]
+                continue
+            while current:
+                link = (current >> 1) + 1 + (current & 1)
+                following = arena[link]
+                if following == target:
+                    arena[link] = arena[ref + 1 + slot]
+                    break
+                current = following
+
+    def _free(self, ref: int) -> None:
+        """Mark a detached clause dead; its arena span becomes garbage."""
+        header = self._arena[ref]
+        self._arena[ref] = header | _FLAG_DEAD
+        self._activity_of.pop(ref, None)
+        self._garbage += (header >> 2) + _HDR
+
+    def _maybe_compact(self) -> None:
+        """Compact the arena when dead clauses dominate it."""
+        if self._garbage > 16384 and self._garbage * 2 > len(self._arena):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the arena without dead clauses and remap every ref.
+
+        Runs only from safe points (layer pops, learnt-clause reduction),
+        never mid-propagation; reasons on the trail are remapped, watcher
+        lists are rebuilt.
+        """
+        old = self._arena
+        fresh = array("l", [0]) if self._use_c else [0]
+        remap: dict[int, int] = {}
+        position = 1
+        end = len(old)
+        while position < end:
+            header = old[position]
+            size = header >> 2
+            if not (header & _FLAG_DEAD):
+                remap[position] = len(fresh)
+                fresh.append(header)
+                fresh.extend((0, 0, 0, 0))
+                fresh.extend(old[position + _HDR : position + _HDR + size])
+            position += _HDR + size
+        self._arena = fresh
+        self._garbage = 0
+        self._clauses = [remap[ref] for ref in self._clauses]
+        self._learnts = [remap[ref] for ref in self._learnts]
+        self._activity_of = {
+            remap[ref]: activity for ref, activity in self._activity_of.items()
+        }
+        for layer in self._layers:
+            layer.clauses = [remap[ref] for ref in layer.clauses]
+        reason = self._reason
+        for var in range(1, self._num_vars + 1):
+            if reason[var]:
+                reason[var] = remap.get(reason[var], 0)
+        heads = self._heads
+        for index in range(len(heads)):
+            heads[index] = 0
+        for ref in self._clauses:
+            self._attach(ref)
+        for ref in self._learnts:
+            self._attach(ref)
+
+    # ---------------------------------------------------------- propagation
+
+    def _enqueue(self, ilit: int, reason_ref: int) -> bool:
         value = self._lit_value(ilit)
         if value != _UNDEF:
             return value == _TRUE
         var = ilit >> 1
         self._assigns[var] = (ilit & 1) ^ 1
         self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
-        self._trail.append(ilit)
+        self._reason[var] = reason_ref
+        self._trail[self._trail_len] = ilit
+        self._trail_len += 1
         return True
 
-    def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or ``None``.
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause ref or ``None``.
 
-        This is the solver's hottest loop: literal evaluation is inlined
-        (``assigns[var] ^ (lit & 1)`` instead of :meth:`_lit_value` calls)
-        and the trail/watch structures are bound to locals.
+        Dispatches to the C core when this solver uses the ``"c"`` backend;
+        the pure-Python loop below implements the identical algorithm.
         """
-        watches = self._watches
+        if self._use_c:
+            state = self._state
+            state[0] = self._qhead
+            state[1] = self._trail_len
+            state[2] = len(self._trail_lim)
+            state[3] = 0
+            conflict = self._cfn(
+                self._arena.buffer_info()[0],
+                self._heads.buffer_info()[0],
+                self._assigns.buffer_info()[0],
+                self._level.buffer_info()[0],
+                self._reason.buffer_info()[0],
+                self._trail.buffer_info()[0],
+                state.buffer_info()[0],
+            )
+            self._qhead = state[0]
+            self._trail_len = state[1]
+            self.stats.propagations += state[3]
+            return conflict if conflict else None
+        return self._propagate_python()
+
+    def _propagate_python(self) -> Optional[int]:
+        """The pure-Python propagation loop (mirror of ``propagate.c``).
+
+        Walks the intrusive watcher list of each newly falsified literal:
+        a watcher whose cached *blocker* literal is already true is skipped
+        without touching the clause body; otherwise the clause either moves
+        the watch, keeps it (refreshing the blocker), propagates its other
+        watched literal, or reports the conflict.
+        """
+        arena = self._arena
+        heads = self._heads
         assigns = self._assigns
+        levels = self._level
+        reasons = self._reason
         trail = self._trail
-        level = self._level
-        reason = self._reason
         current_level = len(self._trail_lim)
         qhead = self._qhead
+        trail_len = self._trail_len
         propagated = 0
-        while qhead < len(trail):
+        while qhead < trail_len:
             p = trail[qhead]
             qhead += 1
             propagated += 1
             false_lit = p ^ 1
-            old_watchers = watches[false_lit]
-            watches[false_lit] = []
-            keep = watches[false_lit]
-            num = len(old_watchers)
-            index = 0
-            while index < num:
-                clause = old_watchers[index]
-                index += 1
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                first_assign = assigns[first >> 1]
-                if first_assign != _UNDEF and first_assign ^ (first & 1) == _TRUE:
-                    keep.append(clause)
+            prev_link = -1  # -1: the list head; otherwise an arena index
+            ptr = heads[false_lit]
+            while ptr:
+                ref = ptr >> 1
+                slot = ptr & 1
+                next_link = ref + 1 + slot
+                nxt = arena[next_link]
+                blocker = arena[ref + 3 + slot]
+                bval = assigns[blocker >> 1]
+                if bval >= 0 and bval ^ (blocker & 1) == 1:
+                    prev_link = next_link
+                    ptr = nxt
                     continue
-                found_watch = False
-                for k in range(2, len(clause)):
-                    lit = clause[k]
+                base = ref + _HDR
+                other = arena[base + 1 - slot]
+                if other != blocker:
+                    oval = assigns[other >> 1]
+                    if oval >= 0 and oval ^ (other & 1) == 1:
+                        arena[ref + 3 + slot] = other  # refresh the blocker
+                        prev_link = next_link
+                        ptr = nxt
+                        continue
+                size = arena[ref] >> 2
+                moved = False
+                for index in range(base + 2, base + size):
+                    lit = arena[index]
                     value = assigns[lit >> 1]
-                    if value == _UNDEF or value ^ (lit & 1) != _FALSE:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches[lit].append(clause)
-                        found_watch = True
+                    if value < 0 or value ^ (lit & 1) == 1:
+                        arena[base + slot] = lit
+                        arena[index] = false_lit
+                        arena[ref + 3 + slot] = other
+                        arena[next_link] = heads[lit]
+                        heads[lit] = ptr
+                        if prev_link < 0:
+                            heads[false_lit] = nxt
+                        else:
+                            arena[prev_link] = nxt
+                        moved = True
                         break
-                if found_watch:
+                if moved:
+                    ptr = nxt
                     continue
-                keep.append(clause)
-                if first_assign != _UNDEF:
-                    # first is falsified: conflict.
-                    keep.extend(old_watchers[index:])
-                    self._qhead = len(trail)
+                oval = assigns[other >> 1]
+                if oval >= 0 and oval ^ (other & 1) == 0:
+                    # other is falsified: conflict.
+                    self._qhead = trail_len
+                    self._trail_len = trail_len
                     self.stats.propagations += propagated
-                    return clause
-                # Inlined _enqueue: first is known to be unassigned here.
-                var = first >> 1
-                assigns[var] = (first & 1) ^ 1
-                level[var] = current_level
-                reason[var] = clause
-                trail.append(first)
+                    return ref
+                var = other >> 1
+                assigns[var] = (other & 1) ^ 1
+                levels[var] = current_level
+                reasons[var] = ref
+                trail[trail_len] = other
+                trail_len += 1
+                prev_link = next_link
+                ptr = nxt
         self._qhead = qhead
+        self._trail_len = trail_len
         self.stats.propagations += propagated
         return None
 
+    # --------------------------------------------------------------- search
+
     def _new_decision_level(self) -> None:
-        self._trail_lim.append(len(self._trail))
+        self._trail_lim.append(self._trail_len)
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
@@ -687,16 +936,16 @@ class Solver:
         polarity = self._polarity
         reason = self._reason
         order_insert = self._order.insert
-        for index in range(len(trail) - 1, bound - 1, -1):
+        for index in range(self._trail_len - 1, bound - 1, -1):
             ilit = trail[index]
             var = ilit >> 1
             assigns[var] = _UNDEF
             polarity[var] = (ilit & 1) == 0
-            reason[var] = None
+            reason[var] = 0
             order_insert(var)
-        del trail[bound:]
+        self._trail_len = bound
         del self._trail_lim[level:]
-        self._qhead = len(trail)
+        self._qhead = bound
 
     def _var_bump(self, var: int) -> None:
         self._activity[var] += self._var_inc
@@ -710,27 +959,31 @@ class Solver:
     def _var_decay_activity(self) -> None:
         self._var_inc /= self._var_decay
 
-    def _clause_bump(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
-            for learnt in self._learnts:
-                learnt.activity *= 1e-20
+    def _clause_bump(self, ref: int) -> None:
+        activity = self._activity_of.get(ref, 0.0) + self._cla_inc
+        self._activity_of[ref] = activity
+        if activity > 1e20:
+            for learnt in self._activity_of:
+                self._activity_of[learnt] *= 1e-20
             self._cla_inc *= 1e-20
 
-    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis; returns (learnt clause, backjump level)."""
+        arena = self._arena
         learnt: list[int] = [0]
         seen = self._seen
         counter = 0
         p = -1
-        index = len(self._trail) - 1
+        index = self._trail_len - 1
         current_level = self._decision_level()
-        clause: Optional[_Clause] = conflict
+        clause = conflict
         while True:
-            assert clause is not None
-            if clause.learnt:
+            assert clause != 0
+            if arena[clause] & _FLAG_LEARNT:
                 self._clause_bump(clause)
-            for q in clause:
+            base = clause + _HDR
+            for position in range(base, base + (arena[clause] >> 2)):
+                q = arena[position]
                 if p != -1 and (q >> 1) == (p >> 1):
                     continue
                 var = q >> 1
@@ -760,12 +1013,13 @@ class Solver:
         minimized = [learnt[0]]
         for q in learnt[1:]:
             reason = self._reason[q >> 1]
-            if reason is None:
+            if not reason:
                 minimized.append(q)
                 continue
             redundant = True
-            for r in reason:
-                var = r >> 1
+            base = reason + _HDR
+            for position in range(base, base + (arena[reason] >> 2)):
+                var = arena[position] >> 1
                 if var == (q >> 1):
                     continue
                 if var not in marked and self._level[var] > 0:
@@ -796,20 +1050,22 @@ class Solver:
         core_internal = {failed}
         if self._decision_level() == 0:
             return [self._to_external(lit) for lit in core_internal]
+        arena = self._arena
         seen = self._seen
         seen[failed >> 1] = 1
         bound = self._trail_lim[0]
-        for index in range(len(self._trail) - 1, bound - 1, -1):
+        for index in range(self._trail_len - 1, bound - 1, -1):
             ilit = self._trail[index]
             var = ilit >> 1
             if not seen[var]:
                 continue
             reason = self._reason[var]
-            if reason is None:
+            if not reason:
                 core_internal.add(ilit)
             else:
-                for q in reason:
-                    qvar = q >> 1
+                base = reason + _HDR
+                for position in range(base, base + (arena[reason] >> 2)):
+                    qvar = arena[position] >> 1
                     if qvar != var and self._level[qvar] > 0:
                         seen[qvar] = 1
             seen[var] = 0
@@ -825,34 +1081,33 @@ class Solver:
         return None
 
     def _reduce_db(self) -> None:
+        arena = self._arena
+        reasons = self._reason
+        activity_of = self._activity_of
         learnts = self._learnts
-        learnts.sort(key=lambda c: c.activity)
+        learnts.sort(key=lambda ref: activity_of.get(ref, 0.0))
         threshold = self._cla_inc / max(len(learnts), 1)
-        keep: list[_Clause] = []
+        keep: list[int] = []
         removed = 0
         half = len(learnts) // 2
-        for index, clause in enumerate(learnts):
+        for index, ref in enumerate(learnts):
+            base = ref + _HDR
+            lit0 = arena[base]
+            lit1 = arena[base + 1]
             locked = (
-                self._reason[clause[0] >> 1] is clause
-                and self._lit_value(clause[0]) == _TRUE
-            )
-            if locked or len(clause) <= 2:
-                keep.append(clause)
-            elif index < half or clause.activity < threshold:
-                self._detach(clause)
+                reasons[lit0 >> 1] == ref and self._lit_value(lit0) == _TRUE
+            ) or (reasons[lit1 >> 1] == ref and self._lit_value(lit1) == _TRUE)
+            if locked or (arena[ref] >> 2) <= 2:
+                keep.append(ref)
+            elif index < half or activity_of.get(ref, 0.0) < threshold:
+                self._detach(ref)
+                self._free(ref)
                 removed += 1
             else:
-                keep.append(clause)
+                keep.append(ref)
         self._learnts = keep
         self.stats.deleted_clauses += removed
-
-    def _detach(self, clause: _Clause) -> None:
-        for watched in (clause[0], clause[1]):
-            watchers = self._watches[watched]
-            try:
-                watchers.remove(clause)
-            except ValueError:
-                pass
+        self._maybe_compact()
 
     @staticmethod
     def _luby(index: int) -> int:
@@ -895,14 +1150,14 @@ class Solver:
                 learnt, backjump_level = self._analyze(conflict)
                 self._cancel_until(max(backjump_level, 0))
                 if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+                    self._enqueue(learnt[0], 0)
                 else:
-                    clause = _Clause(learnt, learnt=True)
-                    self._attach(clause)
-                    self._learnts.append(clause)
-                    self._clause_bump(clause)
+                    ref = self._alloc(learnt, learnt=True)
+                    self._attach(ref)
+                    self._learnts.append(ref)
+                    self._clause_bump(ref)
                     self.stats.learnt_clauses += 1
-                    self._enqueue(learnt[0], clause)
+                    self._enqueue(learnt[0], ref)
                 self._var_decay_activity()
                 self._cla_inc /= self._cla_decay
                 continue
@@ -922,7 +1177,7 @@ class Solver:
                 self._cancel_until(min(self._decision_level(), len(assumptions)))
                 continue
 
-            if len(self._learnts) >= max_learnts + len(self._trail):
+            if len(self._learnts) >= max_learnts + self._trail_len:
                 self._reduce_db()
                 max_learnts = int(max_learnts * 1.3)
 
@@ -950,7 +1205,7 @@ class Solver:
                         f"exceeded decision budget of {self.max_decisions}"
                     )
             self._new_decision_level()
-            self._enqueue(next_lit, None)
+            self._enqueue(next_lit, 0)
 
 
 class ConflictBudgetExceeded(RuntimeError):

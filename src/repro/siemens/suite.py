@@ -147,6 +147,13 @@ class LargeBenchmarkResult:
     sat_calls: int = 0
     detected: bool = False
     time_seconds: float = 0.0
+    #: Solver propagations per wall-clock second over the whole row — the
+    #: throughput the C-accelerated core (or the pure-Python fallback) hit.
+    propagations_per_second: float = 0.0
+    #: Gate-cache hits while encoding the reduced trace (structure sharing).
+    gates_shared: int = 0
+    #: Circuit simplifier configuration used by the encoder.
+    simplifier: str = ""
 
 
 def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkResult:
@@ -203,4 +210,8 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     result.sat_calls = report.sat_calls
     result.detected = any(line in benchmark.fault_lines for line in report.lines)
     result.time_seconds = time.perf_counter() - started
+    result.gates_shared = reduced.gates_shared
+    result.simplifier = reduced.simplifier
+    if result.time_seconds > 0:
+        result.propagations_per_second = report.propagations / result.time_seconds
     return result

@@ -1,0 +1,129 @@
+"""Cross-test reuse of post-blocking cores in the hitting-set engine.
+
+The CoMSS enumeration of a later failing test revisits the same blocking
+contexts as earlier tests; the engine archives the cores it mined *after*
+blocking started, keyed by the encoding's gate-cache signature plus the
+exact retired-binding set, and seeds the equivalent moment of the next
+test's enumeration from them.  Reuse must be behaviour-preserving: the
+enumerated correction sets are identical with a cold engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import LocalizationSession
+from repro.lang import parse_program
+from repro.maxsat import WCNF
+from repro.maxsat.hitting_set import HittingSetMaxSat
+from repro.spec import Specification
+
+
+def _load_engine() -> HittingSetMaxSat:
+    """Three unit softs; the layer clauses force post-blocking core mining.
+
+    The layer adds ``-1 or -2`` and ``-1 or -3``.  The first CoMSS retires
+    soft ``[1]`` with a unit blocking clause, which *forces* variable 1 —
+    only then does ``-1 or -3`` bite, so the core ``{3}`` is necessarily
+    mined after blocking started (a post-blocking core).
+    """
+    wcnf = WCNF()
+    for _ in range(3):
+        wcnf.new_var()
+    wcnf.add_soft([1])
+    wcnf.add_soft([2])
+    wcnf.add_soft([3])
+    wcnf.signature = "feedbeef00000000"
+    engine = HittingSetMaxSat()
+    engine.load(wcnf)
+    return engine
+
+
+def _run_layer(engine: HittingSetMaxSat) -> list[tuple[int, ...]]:
+    """One per-test layer: assert the units, enumerate and block CoMSSes."""
+    enumerated: list[tuple[int, ...]] = []
+    engine.push_layer()
+    try:
+        engine.add_hard([-1, -2])
+        engine.add_hard([-1, -3])
+        while True:
+            result = engine.solve_current()
+            if not result.satisfiable or not result.falsified:
+                break
+            enumerated.append(tuple(result.falsified))
+            engine.block(result.falsified)
+    finally:
+        engine.pop_layer()
+    return enumerated
+
+
+class TestPostBlockingArchive:
+    def test_post_blocking_cores_are_archived(self):
+        engine = _load_engine()
+        first = _run_layer(engine)
+        assert first, "the layer must enumerate at least one correction set"
+        assert engine._stale_post_cores, "post-blocking cores were not archived"
+        for (signature, context), cores in engine._stale_post_cores.items():
+            assert signature == engine.signature
+            assert isinstance(context, frozenset)
+            assert context, "post-blocking context records the retired set"
+            assert cores
+
+    def test_reuse_preserves_enumeration(self):
+        warm = _load_engine()
+        first = _run_layer(warm)
+        second = _run_layer(warm)  # seeds from the archived cores
+        cold = _load_engine()
+        reference = _run_layer(cold)
+        assert first == reference
+        assert second == reference
+
+    def test_session_reuse_preserves_candidates(self):
+        source = (
+            "int main(int x) {\n"
+            "    int a = x + 1;\n"
+            "    int b = a * 2;\n"
+            "    int c = b - x;\n"
+            "    return c;\n"
+            "}\n"
+        )
+        program = parse_program(source, name="core-archive")
+
+        def localize(tests):
+            with LocalizationSession(
+                program, strategy="hitting-set", max_candidates=4
+            ) as session:
+                return [
+                    session.localize(t, Specification.return_value(0)) for t in tests
+                ]
+
+        warm = localize([[2], [3]])
+        cold = localize([[3]])
+        assert [c.lines for c in warm[1].candidates] == [
+            c.lines for c in cold[0].candidates
+        ]
+
+    def test_archive_survives_reload_of_same_signature(self):
+        engine = _load_engine()
+        _run_layer(engine)
+        post_shelf = {k: list(v) for k, v in engine._stale_post_cores.items()}
+        assert post_shelf
+        wcnf = engine._wcnf.copy()
+        engine.load(wcnf)  # same signature: archives survive
+        assert engine._stale_post_cores == post_shelf
+        other = engine._wcnf.copy()
+        other.signature = "0" * 16
+        engine.load(other)  # different signature: archives reset
+        assert engine._stale_post_cores == {}
+        assert engine._stale_cores == []
+
+    def test_archive_is_bounded(self):
+        from repro.maxsat import hitting_set as module
+
+        engine = HittingSetMaxSat()
+        engine.signature = "cafe"
+        engine._bindings = []
+        for index in range(module.MAX_POST_KEYS + 5):
+            engine._stale_post_cores[("cafe", frozenset([index]))] = [
+                frozenset([index])
+            ]
+        engine._archive_post(frozenset([999]))
+        assert len(engine._stale_post_cores) <= module.MAX_POST_KEYS

@@ -1,0 +1,123 @@
+"""Per-layer solver statistics: snapshots, deltas, and engine plumbing.
+
+A :class:`~repro.core.session.LocalizationSession` runs many tests on one
+persistent solver, so cumulative counters mix every test localized so far.
+These tests pin the snapshot/delta API and check that the MaxSAT engine's
+``layer_stats`` reports only the work of the innermost layer — the numbers
+the per-test benchmarks record.
+"""
+
+from __future__ import annotations
+
+from repro.lang import parse_program
+from repro.maxsat import WCNF, make_engine
+from repro.sat import Solver, SolverStats
+from repro.spec import Specification
+
+
+class TestSolverStatsSnapshot:
+    def test_snapshot_is_immutable_copy(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.solve()
+        snap = solver.stats.snapshot()
+        before = (snap.propagations, snap.decisions, snap.conflicts)
+        solver.add_clause([-2, 3])
+        solver.solve()
+        assert (snap.propagations, snap.decisions, snap.conflicts) == before
+
+    def test_since_reports_delta_only(self):
+        solver = Solver()
+        for var in range(1, 9):
+            solver.add_clause([var, var + 1])
+        solver.solve()
+        snap = solver.stats.snapshot()
+        solver.add_clause([-3, -4])
+        solver.solve([3])
+        delta = solver.stats.since(snap)
+        assert delta.solve_calls == 1
+        assert delta.propagations >= 0
+        assert delta.propagations <= solver.stats.propagations
+        total = solver.stats
+        assert total.propagations == snap.propagations + delta.propagations
+        assert total.conflicts == snap.conflicts + delta.conflicts
+
+
+class TestEngineLayerStats:
+    def _engine_with_instance(self):
+        wcnf = WCNF()
+        for var in range(1, 5):
+            wcnf.new_var()
+        wcnf.add_hard([1, 2])
+        wcnf.add_hard([-1, 3])
+        wcnf.add_soft([4], weight=1)
+        wcnf.add_soft([-4, 2], weight=1)
+        engine = make_engine("hitting-set")
+        engine.load(wcnf)
+        return engine
+
+    def test_layer_stats_isolated_from_earlier_layers(self):
+        engine = self._engine_with_instance()
+        engine.solve_current()
+        baseline_propagations = engine.solver_stats.propagations
+
+        engine.push_layer()
+        engine.add_hard([2])
+        engine.solve_current()
+        first_layer = engine.layer_stats()
+        engine.pop_layer()
+
+        engine.push_layer()
+        engine.solve_current()
+        second_layer = engine.layer_stats()
+        engine.pop_layer()
+
+        # Per-layer numbers never include the pre-layer work.
+        assert first_layer.propagations <= engine.solver_stats.propagations
+        assert second_layer.propagations <= engine.solver_stats.propagations
+        assert (
+            first_layer.propagations + second_layer.propagations
+            <= engine.solver_stats.propagations
+        )
+        assert engine.solver_stats.propagations >= baseline_propagations
+
+    def test_layer_sat_calls_reset_per_layer(self):
+        engine = self._engine_with_instance()
+        engine.solve_current()
+        total_before = engine.sat_calls
+        engine.push_layer()
+        engine.solve_current()
+        in_layer = engine.layer_sat_calls()
+        engine.pop_layer()
+        assert in_layer >= 1
+        assert in_layer == engine.sat_calls - total_before
+
+    def test_layer_stats_outside_layers_is_cumulative(self):
+        engine = self._engine_with_instance()
+        engine.solve_current()
+        stats = engine.layer_stats()
+        assert stats.propagations == engine.solver_stats.propagations
+
+
+class TestSessionReportsPropagations:
+    def test_localize_reports_per_test_propagations(self):
+        from repro.core.session import LocalizationSession
+
+        source = (
+            "int main(int x) {\n"
+            "    int a = x + 1;\n"
+            "    int b = a * 2;\n"
+            "    return b;\n"
+            "}\n"
+        )
+        program = parse_program(source, name="stats-session")
+        with LocalizationSession(program) as session:
+            first = session.localize([3], Specification.return_value(0))
+            second = session.localize([4], Specification.return_value(0))
+        assert first.propagations > 0
+        assert second.propagations > 0
+        # The second report must not accumulate the first test's work: both
+        # localize near-identical instances, so the counters stay comparable
+        # instead of roughly doubling.
+        assert second.propagations < 3 * first.propagations
