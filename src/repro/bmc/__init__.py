@@ -11,6 +11,22 @@ assertion.
 """
 
 from repro.bmc.checker import BoundedModelChecker, Counterexample
-from repro.bmc.compiled import CompiledProgram
+from repro.bmc.compiled import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactFormatError,
+    CompiledProgram,
+    artifact_key,
+    dumps_artifact,
+    loads_artifact,
+)
 
-__all__ = ["BoundedModelChecker", "CompiledProgram", "Counterexample"]
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactFormatError",
+    "BoundedModelChecker",
+    "CompiledProgram",
+    "Counterexample",
+    "artifact_key",
+    "dumps_artifact",
+    "loads_artifact",
+]

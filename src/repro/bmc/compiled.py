@@ -19,6 +19,9 @@ once and shard failing tests across workers.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import pickle
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -28,6 +31,96 @@ from repro.lang.semantics import to_unsigned, wrap
 from repro.spec import Specification
 
 Bits = tuple[int, ...]
+
+#: Version stamp of the pickled artifact layout.  Bumped whenever the
+#: :class:`CompiledProgram` fields (or anything reachable from them, such as
+#: :class:`~repro.encoding.context.StatementGroup`) change incompatibly, so a
+#: content-addressed store never deserializes a stale on-disk spill into a
+#: newer process — it recompiles instead.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Magic prefix of a serialized artifact (sanity check before unpickling).
+_ARTIFACT_MAGIC = b"repro-artifact\x00"
+
+
+class ArtifactFormatError(ValueError):
+    """A serialized artifact is corrupt or from an incompatible version."""
+
+
+def artifact_key(program_text: str, options: Mapping[str, object]) -> str:
+    """Stable content hash addressing one compiled artifact.
+
+    The key covers everything that determines the compiled CNF: the program
+    source text, the encoding options (width, unwind bound, entry function,
+    hard functions, simplifier toggle, program name), the artifact format
+    version, and the library version — the last so that upgrading to a
+    build with a changed encoder (new gate rewrites, different clause
+    forms) can never serve a stale persistent spill whose pickle layout
+    happens to still load.  The gate-cache signature of the *result* is a
+    function of exactly these inputs, so hashing the inputs gives a key
+    that can be computed before (and without) compiling.  Canonical JSON
+    keeps the hash independent of dict ordering.
+    """
+    from repro.version import __version__
+
+    canonical = json.dumps(
+        {
+            "format": ARTIFACT_FORMAT_VERSION,
+            "library": __version__,
+            "options": _canonical_options(options),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256()
+    digest.update(canonical.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(program_text.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _canonical_options(options: Mapping[str, object]) -> dict:
+    """Normalize option values so equivalent spellings hash identically."""
+    canonical: dict[str, object] = {}
+    for name, value in options.items():
+        if isinstance(value, (set, frozenset)):
+            canonical[name] = sorted(value)
+        elif isinstance(value, tuple):
+            canonical[name] = list(value)
+        else:
+            canonical[name] = value
+    return canonical
+
+
+def dumps_artifact(compiled: "CompiledProgram") -> bytes:
+    """Serialize an artifact with the format-version envelope."""
+    return (
+        _ARTIFACT_MAGIC
+        + ARTIFACT_FORMAT_VERSION.to_bytes(4, "big")
+        + pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def loads_artifact(data: bytes) -> "CompiledProgram":
+    """Deserialize an artifact, raising :class:`ArtifactFormatError` when the
+    envelope is missing, the format version differs, or the pickle is corrupt."""
+    header = len(_ARTIFACT_MAGIC) + 4
+    if len(data) < header or not data.startswith(_ARTIFACT_MAGIC):
+        raise ArtifactFormatError("not a serialized CompiledProgram artifact")
+    version = int.from_bytes(data[len(_ARTIFACT_MAGIC) : header], "big")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactFormatError(
+            f"artifact format {version} incompatible with {ARTIFACT_FORMAT_VERSION}"
+        )
+    try:
+        compiled = pickle.loads(data[header:])
+    except Exception as exc:
+        raise ArtifactFormatError(f"corrupt artifact pickle: {exc}") from exc
+    if not isinstance(compiled, CompiledProgram):
+        raise ArtifactFormatError(
+            f"artifact pickle holds {type(compiled).__name__}, not CompiledProgram"
+        )
+    return compiled
 
 
 @dataclass

@@ -26,13 +26,21 @@ from repro.core.localizer import BugAssistLocalizer
 from repro.core.ranking import merge_reports, rank_locations
 from repro.core.repair import OffByOneRepairer, RepairResult
 from repro.core.loops import LoopIterationLocalizer, LoopIterationReport
-from repro.core.session import LocalizationSession, SessionStats, TestCase
+from repro.core.session import (
+    BatchLocalizationError,
+    LocalizationSession,
+    SessionStats,
+    ShardLocalizationError,
+    TestCase,
+)
 from repro.core.pipeline import BugAssistPipeline, PipelineConfig
 from repro.spec import Specification
 
 __all__ = [
+    "BatchLocalizationError",
     "BugAssistLocalizer",
     "BugLocation",
+    "ShardLocalizationError",
     "LocalizationReport",
     "LocalizationSession",
     "RankedLocalization",

@@ -54,6 +54,37 @@ FailingTest = tuple[TestCase, Specification]
 EXECUTORS = ("serial", "process")
 
 
+class ShardLocalizationError(RuntimeError):
+    """One test inside a process-pool shard failed to localize.
+
+    Raised worker-side with the offending test's label so the parent never
+    sees a bare pickle traceback with no hint of which test was to blame.
+    ``args`` carries ``(test_label, cause)`` verbatim, which keeps the
+    exception picklable across the pool boundary.
+    """
+
+    def __init__(self, test_label: str, cause: str) -> None:
+        super().__init__(test_label, cause)
+        self.test_label = test_label
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return f"localization of test {self.test_label} failed: {self.cause}"
+
+
+class BatchLocalizationError(RuntimeError):
+    """A shard of a batch localization failed twice (original run + retry)."""
+
+
+def _test_label(index: int, test: FailingTest) -> str:
+    inputs, spec = test
+    if isinstance(inputs, Mapping):
+        shown = dict(inputs)
+    else:
+        shown = list(inputs)
+    return f"#{index} inputs={shown!r} spec={spec.describe()!r}"
+
+
 @dataclass
 class SessionStats:
     """Counters proving the compile-once contract (used by the benchmarks)."""
@@ -99,9 +130,13 @@ class LocalizationSession:
         self.hard_lines = set(hard_lines)
         self.warm_start = warm_start
         self.stats = SessionStats()
+        #: Solver-effort profile of the most recent :meth:`localize` call
+        #: (the innermost engine layer's deltas), for per-request reporting.
+        self.last_request_profile: dict[str, int] = {}
         self._compiled: Optional[CompiledProgram] = None
         self._engine: Optional[MaxSatEngine] = None
         self._closed = False
+        self._pins = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -113,8 +148,36 @@ class LocalizationSession:
 
     def close(self) -> None:
         """Release the persistent engine (the compiled artifact is kept)."""
+        if self._pins:
+            raise RuntimeError(f"session is pinned ({self._pins} holders)")
         self._engine = None
         self._closed = True
+
+    # -------------------------------------------------------------- pinning
+
+    def pin(self) -> "LocalizationSession":
+        """Mark the session in use, protecting it from cache eviction.
+
+        Warm-session caches (the serve worker pool's per-worker LRU) call
+        :meth:`pin` while a request runs against the session and
+        :meth:`unpin` afterwards; :meth:`close` refuses while pins are held,
+        so an eviction sweep can never tear down a session mid-request.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        self._pins += 1
+        return self
+
+    def unpin(self) -> None:
+        """Drop one pin (the converse of :meth:`pin`)."""
+        if self._pins <= 0:
+            raise RuntimeError("session is not pinned")
+        self._pins -= 1
+
+    @property
+    def pinned(self) -> bool:
+        """True while at least one holder has the session pinned."""
+        return self._pins > 0
 
     @classmethod
     def from_compiled(
@@ -140,9 +203,11 @@ class LocalizationSession:
         session.hard_lines = set(hard_lines)
         session.warm_start = warm_start
         session.stats = SessionStats()
+        session.last_request_profile = {}
         session._compiled = compiled
         session._engine = None
         session._closed = False
+        session._pins = 0
         return session
 
     # --------------------------------------------------------------- compile
@@ -213,6 +278,7 @@ class LocalizationSession:
                 engine.set_phases(compiled.phase_hints(test_inputs))
             run_comss_loop(engine, report, self.max_candidates)
             report.propagations = engine.layer_stats().propagations
+            self.last_request_profile = engine.layer_profile()
         finally:
             engine.pop_layer()
         report.sat_calls = engine.sat_calls - sat_calls_before
@@ -300,14 +366,41 @@ class LocalizationSession:
             self.warm_start,
         )
         reports: list[Optional[LocalizationReport]] = [None] * len(tests)
+        failed: list[tuple[list[tuple[int, FailingTest]], BaseException]] = []
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_initializer,
             initargs=(payload,),
         ) as pool:
-            for shard_result in pool.map(_pool_localize_shard, shards):
-                for index, report in shard_result:
-                    reports[index] = report
+            futures = [pool.submit(_pool_localize_shard, shard) for shard in shards]
+            for shard, future in zip(shards, futures):
+                try:
+                    for index, report in future.result():
+                        reports[index] = report
+                except Exception as exc:
+                    # A dead or poisoned worker takes its whole shard down
+                    # (and, for a BrokenProcessPool, every later shard too).
+                    # Collect the casualties; they get exactly one retry on a
+                    # fresh pool below instead of surfacing a bare traceback.
+                    failed.append((shard, exc))
+        for shard, original in failed:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_pool_initializer,
+                    initargs=(payload,),
+                ) as retry_pool:
+                    for index, report in retry_pool.submit(
+                        _pool_localize_shard, shard
+                    ).result():
+                        reports[index] = report
+            except Exception as exc:
+                raise BatchLocalizationError(
+                    f"shard of {len(shard)} test(s) failed twice "
+                    f"(original run: {_describe_error(original)}; "
+                    f"fresh-pool retry: {_describe_error(exc)}); "
+                    f"offending test: {_shard_failure_label(shard, exc)}"
+                ) from exc
         self.stats.tests_localized += len(tests)
         for report in reports:
             assert report is not None
@@ -340,5 +433,31 @@ def _pool_localize_shard(shard) -> list[tuple[int, LocalizationReport]]:
     assert _WORKER_SESSION is not None
     results: list[tuple[int, LocalizationReport]] = []
     for index, (inputs, spec) in shard:
-        results.append((index, _WORKER_SESSION.localize(inputs, spec)))
+        try:
+            results.append((index, _WORKER_SESSION.localize(inputs, spec)))
+        except Exception as exc:
+            raise ShardLocalizationError(
+                _test_label(index, (inputs, spec)),
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
     return results
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _shard_failure_label(
+    shard: list[tuple[int, FailingTest]], exc: BaseException
+) -> str:
+    """Name the test to blame for a shard failure.
+
+    A :class:`ShardLocalizationError` pinpoints it; a worker that died
+    outright (BrokenProcessPool) cannot say which test killed it, so the
+    whole shard is named.
+    """
+    if isinstance(exc, ShardLocalizationError):
+        return exc.test_label
+    return "unknown (worker died); shard tests: " + ", ".join(
+        _test_label(index, test) for index, test in shard
+    )

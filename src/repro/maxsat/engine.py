@@ -253,6 +253,24 @@ class MaxSatEngine:
             return self.sat_calls
         return self.sat_calls - self._layers[-1].sat_calls_mark
 
+    def layer_profile(self) -> dict[str, int]:
+        """Per-request solver-effort profile of the innermost layer.
+
+        A flat, JSON-friendly view of :meth:`layer_stats` plus the layer's
+        SAT-call count — what a serving layer attaches to each localization
+        response so clients see the cost of *their* request, not the
+        cumulative counters of the warm session answering it.
+        """
+        stats = self.layer_stats()
+        return {
+            "sat_calls": self.layer_sat_calls(),
+            "propagations": stats.propagations,
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "restarts": stats.restarts,
+            "learnt_clauses": stats.learnt_clauses,
+        }
+
     def block(self, falsified: Sequence[int], retire: bool = True) -> None:
         """Block a correction set with a hard clause on the live solver.
 

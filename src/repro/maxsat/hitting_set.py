@@ -61,6 +61,10 @@ class HittingSetMaxSat(MaxSatEngine):
     def __init__(self, max_iterations: int = 100000) -> None:
         super().__init__()
         self.max_iterations = max_iterations
+        #: Cores promoted from a *subsumed* post-blocking shelf (one whose
+        #: retired-binding context is a strict subset of the current one) —
+        #: hits the exact-match lookup alone would have missed.
+        self.post_subsumption_hits = 0
         self.cores: list[frozenset[int]] = []
         self._core_snapshots: list[list[frozenset[int]]] = []
         self._stale_cores: list[frozenset[int]] = []
@@ -169,32 +173,57 @@ class HittingSetMaxSat(MaxSatEngine):
         self._probe_candidates(self._stale_cores, self._stale_misses)
 
     def _validate_post_cores(self) -> None:
-        """Probe the post-blocking archive for the current blocking context."""
-        key = (self.signature, self._blocking_context())
+        """Probe the post-blocking archive for the current blocking context.
+
+        Besides the exact-context shelf, shelves archived at a blocking
+        context that is a *strict subset* of the current one are probed too
+        (the ROADMAP's subsumption-aware lookup): those cores were mined
+        with fewer retirements, and blocking since then only added hard
+        clauses, so they remain plausible — the budgeted probe, which also
+        skips any core touching a now-retired binding, keeps the reuse
+        sound.  Cores promoted this way are counted in
+        :attr:`post_subsumption_hits`.
+        """
+        context = self._blocking_context()
+        key = (self.signature, context)
         if key in self._probed_post_keys:
             return
         self._probed_post_keys.add(key)
         shelf = self._stale_post_cores.get(key)
         if shelf:
             self._probe_candidates(shelf, self._post_misses)
+        for other_key in list(self._stale_post_cores):
+            other_signature, other_context = other_key
+            if other_key == key or other_signature != self.signature:
+                continue
+            if other_context < context:
+                other_shelf = self._stale_post_cores.get(other_key)
+                if other_shelf:
+                    self.post_subsumption_hits += self._probe_candidates(
+                        other_shelf, self._post_misses
+                    )
 
     def _probe_candidates(
         self,
         shelf: list[frozenset[int]],
         misses: dict[frozenset[int], int],
-    ) -> None:
+    ) -> int:
         """Promote archived candidate cores that hold under this layer.
 
         Each candidate is checked with a SAT call assuming only its own
         bindings — a tiny propagation cone compared to the full-assumption
         mining call it replaces.  UNSAT confirms (and possibly shrinks) the
-        core; SAT (or an exhausted probe budget) discards it.
+        core; SAT (or an exhausted probe budget) discards it.  Returns the
+        number of cores promoted into :attr:`cores`.
         """
         if not shelf:
-            return
+            return 0
+        promoted = 0
         seen = set(self.cores)
         true_slot = self._true_slot
         for core in list(shelf):
+            if core in seen:
+                continue
             bindings = [self._bindings[position] for position in core]
             if any(not binding.active for binding in bindings):
                 continue
@@ -232,6 +261,8 @@ class HittingSetMaxSat(MaxSatEngine):
             if refined and refined not in seen:
                 self.cores.append(refined)
                 seen.add(refined)
+                promoted += 1
+        return promoted
 
     def _on_block(self, retired) -> None:
         # A blocked *singleton* CoMSS adds a unit blocking clause, fixing the

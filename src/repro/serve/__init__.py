@@ -1,0 +1,68 @@
+"""`repro.serve` — the localization daemon and its serving substrate.
+
+The paper's protocol is many-requests-against-few-programs: BugAssist
+reruns MaxSAT localization per failing test and per program version, while
+the whole-program encodings those requests run against number only a
+handful.  This package turns the compile-once/localize-many session API
+into a long-running service built from four pieces:
+
+* :class:`~repro.serve.store.ArtifactStore` — a content-addressed cache of
+  :class:`~repro.bmc.compiled.CompiledProgram` artifacts keyed by a stable
+  hash of program text + encoding options, with an in-memory LRU, on-disk
+  pickle spill and corrupt-spill recovery, so every distinct program
+  version is compiled exactly once across all clients;
+* :mod:`~repro.serve.protocol` — a length-prefixed JSON wire protocol
+  (``compile`` / ``localize`` / ``localize_batch`` / ``stats`` /
+  ``shutdown``) shared by the asyncio server and the blocking client;
+* :class:`~repro.serve.workers.WorkerPool` — persistent worker processes,
+  each holding an LRU of warm :class:`~repro.core.session.LocalizationSession`\\ s
+  keyed by artifact hash, behind a scheduler that batches tests by program
+  version, shards them with artifact affinity, and retries a shard once on
+  worker death;
+* :class:`~repro.serve.server.LocalizationServer` (asyncio, unix socket +
+  TCP) and :class:`~repro.serve.client.Client` / ``python -m repro.serve``
+  — the daemon and its programmatic/CLI front ends.
+
+Quick use::
+
+    # terminal 1
+    $ python -m repro.serve --tcp 127.0.0.1:7711 --workers 4
+
+    # terminal 2 (or any number of clients)
+    from repro.serve import Client
+    with Client(tcp=("127.0.0.1", 7711)) as client:
+        reply = client.localize(program=source, test=[3, 3, 7],
+                                spec={"kind": "return-value", "expected": [-1]})
+        print(reply["report"]["candidates"])
+"""
+
+from repro.serve.client import Client, ServeError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    canonical_report_bytes,
+    report_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.serve.server import LocalizationServer, ServerThread
+from repro.serve.store import ArtifactStore, ResultCache, StoreStats
+from repro.serve.workers import ServeShardError, WorkerPool
+
+__all__ = [
+    "ArtifactStore",
+    "Client",
+    "LocalizationServer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ResultCache",
+    "ServeError",
+    "ServeShardError",
+    "ServerThread",
+    "StoreStats",
+    "WorkerPool",
+    "canonical_report_bytes",
+    "report_to_wire",
+    "spec_from_wire",
+    "spec_to_wire",
+]

@@ -1,0 +1,133 @@
+"""``python -m repro.serve`` — run the localization daemon.
+
+Examples::
+
+    # TCP on an ephemeral port, 4 warm-session workers, on-disk artifacts
+    python -m repro.serve --tcp 127.0.0.1:0 --workers 4 --store-dir /tmp/repro-artifacts
+
+    # unix socket only
+    python -m repro.serve --unix /tmp/repro-serve.sock --workers 2
+
+On startup the daemon prints one machine-readable ready line::
+
+    repro-serve ready tcp=127.0.0.1:34997 unix=- workers=4 store=/tmp/repro-artifacts
+
+and then serves until SIGINT/SIGTERM or a ``shutdown`` request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from pathlib import Path
+
+from repro.serve.server import LocalizationServer
+from repro.serve.store import ArtifactStore
+from repro.serve.workers import WorkerPool
+
+
+def _parse_tcp(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="BugAssist localization daemon: content-addressed artifact "
+        "store + warm-session worker pool over a JSON socket protocol.",
+    )
+    parser.add_argument(
+        "--tcp",
+        type=_parse_tcp,
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP (port 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--unix",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="listen on a unix domain socket",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    parser.add_argument(
+        "--sessions-per-worker",
+        type=int,
+        default=8,
+        help="warm LocalizationSessions kept per worker (default 8)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="spill compiled artifacts to DIR (default: memory only)",
+    )
+    parser.add_argument(
+        "--memory-artifacts",
+        type=int,
+        default=16,
+        help="in-memory artifact LRU size (default 16)",
+    )
+    parser.add_argument(
+        "--result-cache",
+        type=int,
+        default=1024,
+        help="memoized localization responses (0 disables; default 1024)",
+    )
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    server = LocalizationServer(
+        store=ArtifactStore(
+            root=args.store_dir, max_memory_entries=args.memory_artifacts
+        ),
+        pool=WorkerPool(
+            workers=args.workers, max_sessions_per_worker=args.sessions_per_worker
+        ),
+        result_cache_entries=args.result_cache,
+    )
+    await server.start(tcp=args.tcp, unix_path=args.unix)
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, server.shutdown)
+    tcp = (
+        f"{server.tcp_address[0]}:{server.tcp_address[1]}"
+        if server.tcp_address
+        else "-"
+    )
+    unix = str(server.unix_path) if server.unix_path else "-"
+    store = str(args.store_dir) if args.store_dir else "-"
+    print(
+        f"repro-serve ready tcp={tcp} unix={unix} "
+        f"workers={args.workers} store={store}",
+        flush=True,
+    )
+    await server.serve_until_shutdown()
+    print("repro-serve stopped", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.tcp is None and args.unix is None:
+        build_parser().error("need at least one of --tcp or --unix")
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""Content-addressed caches behind the localization daemon.
+
+:class:`ArtifactStore` retires the ROADMAP's cross-version encoding-cache
+item at the serving layer: the nine per-version encodings of a Siemens
+suite run are compiled exactly once each across all clients, however many
+tests and connections ask about them.  Artifacts are addressed by
+:func:`repro.bmc.compiled.artifact_key` — a stable hash of the program
+text plus the encoding options — so the key exists before the compile
+does, and a second client asking for the same version waits on the first
+compile instead of repeating it.
+
+Storage is two-tier: a bounded in-memory LRU of live
+:class:`~repro.bmc.compiled.CompiledProgram` objects over an optional
+on-disk spill of version-stamped pickles
+(:func:`~repro.bmc.compiled.dumps_artifact`).  Memory eviction keeps the
+disk copy; a corrupt or stale spill (truncated write, incompatible
+:data:`~repro.bmc.compiled.ARTIFACT_FORMAT_VERSION`) is deleted and
+recompiled rather than surfacing an error.
+
+:class:`ResultCache` memoizes whole localization responses.  Localization
+is a deterministic function of (artifact, test, spec, session options), so
+repeated requests — every CI rerun re-localizes the same failing tests
+until the bug is fixed — are served from memory without touching a worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Optional
+
+from repro.bmc import BoundedModelChecker, CompiledProgram
+from repro.bmc.compiled import (
+    ArtifactFormatError,
+    artifact_key,
+    dumps_artifact,
+    loads_artifact,
+)
+from repro.lang import check_program, parse_program
+
+#: Compile options understood by :meth:`ArtifactStore.get_or_compile`,
+#: with their defaults.  Only these participate in the artifact key.
+COMPILE_OPTION_DEFAULTS: dict[str, object] = {
+    "name": "program",
+    "entry": "main",
+    "width": None,  # None = the language default width
+    "unwind": 16,
+    "hard_functions": (),
+    "simplify": True,
+}
+
+
+def normalize_compile_options(options: Optional[Mapping[str, object]]) -> dict:
+    """Fill defaults and reject unknown compile options."""
+    merged = dict(COMPILE_OPTION_DEFAULTS)
+    for name, value in (options or {}).items():
+        if name not in COMPILE_OPTION_DEFAULTS:
+            raise ValueError(f"unknown compile option {name!r}")
+        merged[name] = value
+    merged["hard_functions"] = sorted(merged["hard_functions"] or ())
+    return merged
+
+
+@dataclass
+class StoreStats:
+    """Counters proving the compile-exactly-once contract."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    compiles: int = 0
+    evictions: int = 0
+    spills: int = 0
+    corrupt_recovered: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return (self.memory_hits + self.disk_hits) / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "spills": self.spills,
+            "corrupt_recovered": self.corrupt_recovered,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ArtifactStore:
+    """Content-addressed, two-tier cache of compiled program artifacts.
+
+    ``root=None`` keeps the store memory-only (no spill, evictions lose the
+    artifact and a later request recompiles).  All methods are thread-safe;
+    a compile for one key excludes concurrent compiles of the same key (so
+    "exactly one compile per distinct artifact" holds under concurrency)
+    while lookups of other keys proceed — the store lock is never held
+    across a compile.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path | str] = None,
+        max_memory_entries: int = 16,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be at least 1")
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self.max_memory_entries = max_memory_entries
+        self.stats = StoreStats()
+        self._memory: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._lock = threading.RLock()
+        #: Per-key compile-in-flight events: a second client asking for a
+        #: key being compiled waits on its event instead of recompiling,
+        #: while lookups of *other* keys proceed (the store lock is never
+        #: held across a compile).
+        self._in_flight: dict[str, threading.Event] = {}
+
+    # ------------------------------------------------------------- addressing
+
+    @staticmethod
+    def key_for(program_text: str, options: Optional[Mapping[str, object]] = None) -> str:
+        """The content address of one (program text, compile options) pair."""
+        return artifact_key(program_text, normalize_compile_options(options))
+
+    def _spill_path(self, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / f"{key}.artifact"
+
+    # ----------------------------------------------------------------- lookup
+
+    def get(self, key: str) -> Optional[CompiledProgram]:
+        """Fetch by key from memory, then disk; ``None`` on a full miss."""
+        with self._lock:
+            compiled = self._memory.get(key)
+            if compiled is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return compiled
+            compiled = self._load_spill(key)
+            if compiled is not None:
+                self.stats.disk_hits += 1
+                self._admit(key, compiled, spill=False)
+                return compiled
+            self.stats.misses += 1
+            return None
+
+    def get_or_compile(
+        self,
+        program_text: str,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> tuple[str, CompiledProgram, str]:
+        """Resolve (and, on a full miss, compile) one program version.
+
+        Returns ``(key, compiled, source)`` where ``source`` is one of
+        ``"memory"``, ``"disk"`` or ``"compiled"``.
+        """
+        normalized = normalize_compile_options(options)
+        key = artifact_key(program_text, normalized)
+        while True:
+            with self._lock:
+                memory_before = self.stats.memory_hits
+                compiled = self.get(key)
+                if compiled is not None:
+                    source = (
+                        "memory" if self.stats.memory_hits > memory_before else "disk"
+                    )
+                    return key, compiled, source
+                pending = self._in_flight.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._in_flight[key] = pending
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # Another thread is compiling this exact key: wait for it,
+                # then loop back to the (now hitting) lookup.
+                pending.wait()
+                continue
+            try:
+                compiled = self._compile(program_text, normalized)
+                with self._lock:
+                    self.stats.compiles += 1
+                    self._admit(key, compiled, spill=True)
+                return key, compiled, "compiled"
+            finally:
+                with self._lock:
+                    self._in_flight.pop(key, None)
+                pending.set()
+
+    def serialized(self, key: str) -> Optional[bytes]:
+        """The version-stamped artifact bytes (for shipping to a worker)."""
+        compiled = self.get(key)
+        if compiled is None:
+            return None
+        return dumps_artifact(compiled)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # ----------------------------------------------------------------- fill
+
+    def _compile(self, program_text: str, normalized: dict) -> CompiledProgram:
+        program = parse_program(program_text, name=normalized["name"])
+        check_program(program)
+        checker_kwargs: dict[str, object] = {
+            "unwind": normalized["unwind"],
+            "group_statements": True,
+            "hard_functions": tuple(normalized["hard_functions"]),
+            "simplify": normalized["simplify"],
+        }
+        if normalized["width"] is not None:
+            checker_kwargs["width"] = normalized["width"]
+        checker = BoundedModelChecker(program, **checker_kwargs)
+        return checker.compile_program(entry=normalized["entry"])
+
+    def _admit(self, key: str, compiled: CompiledProgram, spill: bool) -> None:
+        self._memory[key] = compiled
+        self._memory.move_to_end(key)
+        if spill:
+            self._write_spill(key, compiled)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ----------------------------------------------------------------- spill
+
+    def _write_spill(self, key: str, compiled: CompiledProgram) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_bytes(dumps_artifact(compiled))
+            tmp.replace(path)
+            self.stats.spills += 1
+        except OSError:
+            # A read-only or full disk degrades to memory-only caching.
+            tmp.unlink(missing_ok=True)
+
+    def _load_spill(self, key: str) -> Optional[CompiledProgram]:
+        path = self._spill_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return loads_artifact(path.read_bytes())
+        except (ArtifactFormatError, OSError):
+            # Truncated write, stale format version, or plain corruption:
+            # drop the spill and let the caller recompile.
+            path.unlink(missing_ok=True)
+            self.stats.corrupt_recovered += 1
+            return None
+
+
+class ResultCache:
+    """Bounded LRU memoizing whole localization responses.
+
+    Localization is deterministic given (artifact key, test, spec, session
+    options), so the server can answer a repeated request from memory; the
+    cached value is the exact wire payload, keeping responses byte-identical
+    whether computed or replayed.  ``max_entries=0`` disables the cache.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[dict]:
+        if self.max_entries <= 0:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: dict) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get_or_fill(self, key: str, compute: Callable[[], dict]) -> dict:
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            entries = len(self._entries)
+        total = self.hits + self.misses
+        return {
+            "entries": entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }

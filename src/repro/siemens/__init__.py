@@ -22,11 +22,18 @@ from repro.siemens.tcas import (
     TCAS_SOURCE,
     tcas_program,
     tcas_faulty_program,
+    tcas_faulty_source,
     tcas_fault,
     tcas_versions,
 )
 from repro.siemens.testgen import TcasTestVector, generate_tcas_tests, golden_outputs
-from repro.siemens.suite import TcasVersionResult, run_tcas_version, classify_tcas_tests
+from repro.siemens.suite import (
+    ServiceRequest,
+    TcasVersionResult,
+    classify_tcas_tests,
+    run_tcas_version,
+    service_workload,
+)
 
 __all__ = [
     "ErrorType",
@@ -40,7 +47,10 @@ __all__ = [
     "TcasTestVector",
     "generate_tcas_tests",
     "golden_outputs",
+    "ServiceRequest",
     "TcasVersionResult",
     "run_tcas_version",
     "classify_tcas_tests",
+    "service_workload",
+    "tcas_faulty_source",
 ]

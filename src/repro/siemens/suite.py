@@ -22,7 +22,12 @@ from typing import Optional
 from repro.core import LocalizationSession, Specification
 from repro.lang import Interpreter
 from repro.siemens.faults import FaultVersion
-from repro.siemens.tcas import tcas_fault, tcas_faulty_program, tcas_program
+from repro.siemens.tcas import (
+    tcas_fault,
+    tcas_faulty_program,
+    tcas_faulty_source,
+    tcas_program,
+)
 from repro.siemens.testgen import TcasTestVector, generate_tcas_tests, golden_outputs
 
 
@@ -126,6 +131,58 @@ def run_tcas_version(
 def tcas_total_lines() -> int:
     """Total number of (non-blank) lines of the TCAS program."""
     return tcas_program().lines_of_code()
+
+
+# ---------------------------------------------------------------- serving
+
+
+@dataclass
+class ServiceRequest:
+    """One client request against the localization service.
+
+    ``source`` is the faulty program text a client would submit (the
+    daemon content-addresses it); ``tests`` are (inputs, specification)
+    pairs ready for :meth:`~repro.serve.client.Client.localize_batch` or an
+    in-process :class:`~repro.core.session.LocalizationSession` baseline.
+    """
+
+    version: str
+    source: str
+    tests: list[tuple[list[int], Specification]]
+
+    @property
+    def name(self) -> str:
+        return f"tcas-{self.version}"
+
+
+def service_workload(
+    versions: Optional[list[str]] = None,
+    tests_per_version: int = 3,
+    test_count: int = 300,
+    seed: int = 2011,
+) -> list[ServiceRequest]:
+    """The serving benchmark's workload: few programs, many requests.
+
+    For each faulty TCAS version, classify the test pool and keep the first
+    ``tests_per_version`` failing tests with their golden outputs as
+    specifications — the per-version slice of the Table 1 protocol that a
+    localization-service client replays.  Versions with fewer failing tests
+    contribute what they have.
+    """
+    versions = versions or ["v1", "v2", "v13", "v16", "v22", "v28", "v37", "v40", "v41"]
+    workload: list[ServiceRequest] = []
+    for version in versions:
+        failing, _ = classify_tcas_tests(version, count=test_count, seed=seed)
+        tests = [
+            (vector.as_list(), Specification.return_value(expected))
+            for vector, expected in failing[:tests_per_version]
+        ]
+        workload.append(
+            ServiceRequest(
+                version=version, source=tcas_faulty_source(version), tests=tests
+            )
+        )
+    return workload
 
 
 @dataclass

@@ -176,13 +176,24 @@ def tcas_versions() -> list[str]:
 
 
 @lru_cache(maxsize=None)
-def tcas_faulty_program(version: str) -> ast.Program:
-    """Build the faulty TCAS program for one version of the fault catalogue."""
+def tcas_faulty_source(version: str) -> str:
+    """The faulty TCAS source text for one version of the fault catalogue.
+
+    This is what a localization-service client sends over the wire: the
+    daemon's content-addressed artifact store hashes exactly this text (plus
+    the encoding options), so the nine per-version sources of a suite run
+    map to nine distinct artifacts however many clients submit them.
+    """
     fault = tcas_fault(version)
     lines = list(TCAS_LINES)
     for line_number, replacement in fault.patches:
         lines[line_number - 1] = replacement
-    source = "\n".join(lines) + "\n"
-    program = parse_program(source, name=f"tcas-{version}")
+    return "\n".join(lines) + "\n"
+
+
+@lru_cache(maxsize=None)
+def tcas_faulty_program(version: str) -> ast.Program:
+    """Build the faulty TCAS program for one version of the fault catalogue."""
+    program = parse_program(tcas_faulty_source(version), name=f"tcas-{version}")
     check_program(program)
     return program

@@ -115,6 +115,65 @@ class TestPostBlockingArchive:
         assert engine._stale_post_cores == {}
         assert engine._stale_cores == []
 
+    def test_subsumed_context_promotes_core_exact_lookup_misses(self):
+        """Subsumption-aware lookup (ROADMAP item): a core archived at
+        blocking context {0} is reused at context {0, 1}, where the
+        exact-match lookup has no shelf at all."""
+        wcnf = WCNF()
+        for _ in range(6):
+            wcnf.new_var()
+        wcnf.add_soft([1, 2])  # binding 0 (non-unit: blocking stays satisfiable)
+        wcnf.add_soft([3, 4])  # binding 1
+        wcnf.add_soft([5])     # binding 2
+        wcnf.add_soft([6])     # binding 3
+        wcnf.signature = "feedbeef00000000"
+        engine = HittingSetMaxSat()
+        engine.load(wcnf)
+        engine.push_layer()
+        try:
+            # Reach blocking context {0, 1} the way Algorithm 1 would:
+            # two CoMSSes blocked and retired.
+            engine.block([0])
+            engine.block([1])
+            # A previous test mined core {3} when only binding 0 was
+            # retired and archived it under context {0}.
+            archived = frozenset({3})
+            engine._stale_post_cores[(engine.signature, frozenset({0}))] = [archived]
+            # In this layer the core still holds: assuming soft [6] conflicts.
+            engine.add_hard([-6])
+            assert (engine.signature, frozenset({0, 1})) not in engine._stale_post_cores
+            result = engine.solve_current()
+            assert result.satisfiable
+            assert archived in engine.cores
+            assert engine.post_subsumption_hits == 1
+        finally:
+            engine.pop_layer()
+
+    def test_superset_context_is_not_reused(self):
+        """Cores archived at a *larger* context than the current one are
+        conditioned on retirements that have not happened yet — they must
+        not be offered (only subset contexts are sound candidates)."""
+        wcnf = WCNF()
+        for _ in range(4):
+            wcnf.new_var()
+        wcnf.add_soft([1, 2])
+        wcnf.add_soft([3])
+        wcnf.add_soft([4])
+        wcnf.signature = "feedbeef00000000"
+        engine = HittingSetMaxSat()
+        engine.load(wcnf)
+        engine.push_layer()
+        try:
+            engine.block([0])  # context {0}
+            engine._stale_post_cores[(engine.signature, frozenset({0, 1}))] = [
+                frozenset({2})
+            ]
+            engine.add_hard([-4])
+            engine.solve_current()
+            assert engine.post_subsumption_hits == 0
+        finally:
+            engine.pop_layer()
+
     def test_archive_is_bounded(self):
         from repro.maxsat import hitting_set as module
 

@@ -9,9 +9,11 @@ import pytest
 
 from repro.bmc import BoundedModelChecker
 from repro.core import (
+    BatchLocalizationError,
     BugAssistLocalizer,
     BugAssistPipeline,
     LocalizationSession,
+    ShardLocalizationError,
     Specification,
     rank_locations,
 )
@@ -267,6 +269,74 @@ class TestLocalizationSession:
         with LocalizationSession(program) as session:
             with pytest.raises(ValueError):
                 session.localize_batch(failing, executor="threads")
+
+    def test_poisoned_test_in_pool_names_the_offender(self):
+        # A test with the wrong arity makes its worker raise; the failure
+        # must surface as BatchLocalizationError naming the offending test
+        # (after one fresh-pool retry), not as a bare pickle traceback.
+        program, failing = classify_failing_tests()
+        poisoned = failing[:2] + [([1, 2, 3], Specification.return_value(0))]
+        with LocalizationSession(program) as session:
+            with pytest.raises(BatchLocalizationError) as excinfo:
+                session.localize_batch(poisoned, executor="process", workers=2)
+        message = str(excinfo.value)
+        assert "[1, 2, 3]" in message          # the offending test's inputs
+        assert "failed twice" in message       # original run plus one retry
+        assert "ValueError" in message         # the underlying cause survives
+
+    def test_shard_error_pickles_with_its_label(self):
+        import pickle
+
+        error = ShardLocalizationError("#2 inputs=[7]", "ValueError: boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.test_label == "#2 inputs=[7]"
+        assert "ValueError: boom" in str(clone)
+
+    def test_healthy_batch_unaffected_by_retry_machinery(self):
+        program, failing = classify_failing_tests()
+        with LocalizationSession(program) as serial_session:
+            serial = serial_session.localize_batch(failing)
+        with LocalizationSession(program) as pool_session:
+            pooled = pool_session.localize_batch(failing, executor="process", workers=2)
+        assert pooled.ranked_lines == serial.ranked_lines
+
+
+class TestSessionPinning:
+    def test_pin_blocks_close_until_unpinned(self, motivating_program):
+        session = LocalizationSession(motivating_program)
+        session.pin()
+        assert session.pinned
+        with pytest.raises(RuntimeError, match="pinned"):
+            session.close()
+        # Pinned sessions keep serving (the serve workers localize while
+        # holding a pin so eviction sweeps cannot close them mid-request).
+        report = session.localize([1], Specification.assertion())
+        assert report.lines
+        session.unpin()
+        assert not session.pinned
+        session.close()
+
+    def test_unpin_without_pin_raises(self, motivating_program):
+        session = LocalizationSession(motivating_program)
+        with pytest.raises(RuntimeError):
+            session.unpin()
+
+    def test_pin_on_closed_session_raises(self, motivating_program):
+        session = LocalizationSession(motivating_program)
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.pin()
+
+    def test_localize_records_request_profile(self, motivating_program):
+        with LocalizationSession(motivating_program) as session:
+            session.localize([1], Specification.assertion())
+            first = session.last_request_profile
+            session.localize([1], Specification.assertion())
+            second = session.last_request_profile
+        assert first["sat_calls"] > 0 and first["propagations"] > 0
+        # The profile is per-request (layer deltas), not cumulative: the
+        # second identical request must not report the sum of both.
+        assert second["sat_calls"] <= first["sat_calls"]
 
     def test_compiled_program_is_picklable(self, motivating_program):
         checker = BoundedModelChecker(motivating_program, group_statements=True)
