@@ -9,11 +9,13 @@ Besides the human-readable table, the run writes ``BENCH_table3.json`` at
 the repository root — one record per benchmark with the clause counts, the
 number of SAT calls and the wall time — so the performance trajectory can be
 tracked across PRs.  Each record also carries *why*-a-row-moved fields:
-``propagations_per_second`` (solver throughput, which reflects whether the
-C propagation core or the pure-Python fallback ran), ``gates_shared`` (how
-many gates the structure-hashed circuit cache deduplicated while encoding)
-and ``simplifier`` (the encoder configuration), plus ``propagation_backend``
-at the top of every record batch via the per-row field.
+``propagations_per_second`` (propagation throughput, which reflects whether
+the C propagation core or the pure-Python fallback ran),
+``conflicts_per_second`` (search-kernel throughput: conflict analysis,
+backjumping and VSIDS maintenance), ``gates_shared`` (how many gates the
+structure-hashed circuit cache deduplicated while encoding) and
+``simplifier`` (the encoder configuration), plus the active
+``propagation_backend`` and ``analysis_backend`` per row.
 """
 
 from __future__ import annotations
@@ -72,7 +74,7 @@ def test_table3_report():
 
 
 def _write_bench_json() -> None:
-    from repro.sat import propagation_backend
+    from repro.sat import propagation_backend, search_backend
 
     payload = [
         {
@@ -87,9 +89,11 @@ def _write_bench_json() -> None:
             "sat_calls": row.sat_calls,
             "time_seconds": round(row.time_seconds, 3),
             "propagations_per_second": round(row.propagations_per_second),
+            "conflicts_per_second": round(row.conflicts_per_second),
             "gates_shared": row.gates_shared,
             "simplifier": row.simplifier,
             "propagation_backend": propagation_backend(),
+            "analysis_backend": search_backend(),
         }
         for row in _rows.values()
     ]

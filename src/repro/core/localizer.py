@@ -158,6 +158,7 @@ class BugAssistLocalizer:
         run_comss_loop(engine, report, self.max_candidates)
         report.sat_calls = engine.sat_calls
         report.propagations = engine.solver_stats.propagations
+        report.conflicts = engine.solver_stats.conflicts
         report.time_seconds = time.perf_counter() - started
         return report
 

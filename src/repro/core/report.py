@@ -44,6 +44,10 @@ class LocalizationReport:
     #: Unit propagations performed by the SAT solver for this run (for a
     #: session run: inside this test's layer only).
     propagations: int = 0
+    #: Conflicts analyzed by the SAT solver for this run (same scoping as
+    #: ``propagations``); the Table 3 benchmarks derive
+    #: ``conflicts_per_second`` — search-kernel throughput — from this.
+    conflicts: int = 0
     time_seconds: float = 0.0
 
     @property

@@ -277,7 +277,9 @@ class LocalizationSession:
             if self.warm_start:
                 engine.set_phases(compiled.phase_hints(test_inputs))
             run_comss_loop(engine, report, self.max_candidates)
-            report.propagations = engine.layer_stats().propagations
+            layer_stats = engine.layer_stats()
+            report.propagations = layer_stats.propagations
+            report.conflicts = layer_stats.conflicts
             self.last_request_profile = engine.layer_profile()
         finally:
             engine.pop_layer()

@@ -11,13 +11,21 @@ needs:
   core-guided MaxSAT algorithms),
 * DIMACS CNF and WCNF reading/writing for interoperability and debugging.
 
-The hottest loop — unit propagation — optionally runs in a small C core
-compiled on first use (see :mod:`repro.sat._ccore` and ``propagate.c``);
-:func:`propagation_backend` reports which implementation new solvers will
-use (``"c"`` or ``"python"``), and the ``REPRO_PROPAGATION`` environment
-variable (``auto``/``python``/``c``) controls the selection.  Both backends
-implement the identical algorithm over the same flat clause-arena layout
-and produce identical models, conflicts and statistics.
+The solver's hot loops optionally run in a small C library compiled on
+first use (see :mod:`repro.sat._ccore` and ``search.c``), with two
+independently selectable layers:
+
+* **propagation** — two-watched-literal unit propagation
+  (``REPRO_PROPAGATION``, reported by :func:`propagation_backend`);
+* **search** — the full CDCL search kernel: propagation plus first-UIP
+  conflict analysis with clause learning and minimization, backjumping,
+  VSIDS activities, the order heap, phase saving, assumption decisions and
+  restarts (``REPRO_SEARCH``, reported by :func:`search_backend`; when the
+  variable is unset the search backend follows the propagation backend).
+
+Every backend combination implements the identical algorithms over the same
+flat buffers and produces identical models, conflicts, cores and
+statistics; the pure-Python loops remain the always-tested fallback.
 
 The public entry points are :class:`Solver`, :data:`TRUE_LIT` helpers in
 :mod:`repro.sat.literals`, and the DIMACS helpers in :mod:`repro.sat.dimacs`.
@@ -39,8 +47,22 @@ def propagation_backend() -> str:
     return _ccore.backend()
 
 
+def search_backend() -> str:
+    """Which search kernel new :class:`Solver` instances use by default.
+
+    ``"c"`` when the compiled search kernel is (or can be) loaded,
+    ``"python"`` otherwise.  Controlled by ``REPRO_SEARCH``
+    (``auto``/``python``/``c``); when unset it inherits the
+    ``REPRO_PROPAGATION`` mode so a pinned pure-Python run stays pure end
+    to end.
+    """
+    from repro.sat import _ccore
+
+    return _ccore.search_backend()
+
+
 def propagation_core_unavailable_reason():
-    """Why the C core is unavailable (``None`` when it loaded fine)."""
+    """Why the C library is unavailable (``None`` when it loaded fine)."""
     from repro.sat import _ccore
 
     _ccore.load_core()
@@ -55,5 +77,6 @@ __all__ = [
     "lit_to_var",
     "var_to_lit",
     "propagation_backend",
+    "search_backend",
     "propagation_core_unavailable_reason",
 ]

@@ -1,23 +1,42 @@
-"""Feature-checked loader for the C-accelerated propagation core.
+"""Feature-checked loader for the C-accelerated solver cores.
 
-The solver's hottest loop — two-watched-literal unit propagation — exists
-twice: as a pure-Python loop (:meth:`Solver._propagate_python`, always
-available, always tested) and as ``propagate.c`` compiled to a tiny shared
-library at first use.  Both operate on the same flat ``array('l')`` buffers
-and implement the same algorithm step for step, so they produce identical
-assignments, conflicts and statistics.
+The solver's hot paths exist twice: as pure-Python loops (always available,
+always tested) and as ``search.c`` compiled to a tiny shared library at
+first use.  The library exports two entry points over the same flat
+``array``-backed buffers:
 
-Selection is controlled by the ``REPRO_PROPAGATION`` environment variable:
+* ``repro_propagate`` — two-watched-literal unit propagation (one call per
+  search step from the pure-Python search loop);
+* ``repro_search`` — the full CDCL search kernel: propagation, first-UIP
+  conflict analysis with clause learning and local minimization,
+  backjumping, VSIDS bump/decay/rescale, the activity order heap, phase
+  saving, assumption decisions and Luby restarts, returning to Python only
+  for rare control events.
 
-* ``auto`` (default) — use the C core when it can be built/loaded, fall
-  back to pure Python otherwise;
-* ``python`` — force the pure-Python loop (useful for debugging and for CI
-  to pin the fallback);
-* ``c`` — require the C core; raise if it cannot be loaded.
+Both implement the same algorithms step for step as the Python fallbacks,
+so every backend combination produces identical assignments, conflicts,
+cores and statistics.
 
-The compiled artifact is cached under ``_build/`` next to this module,
-keyed by a hash of the C source, so rebuilding only happens when the source
-changes.  When the package directory is not writable, the core is compiled
+Selection is controlled by two environment variables with the same value
+set (``auto`` / ``python`` / ``c``):
+
+* ``REPRO_PROPAGATION`` — the propagation core.  ``auto`` (default) uses
+  the compiled core when it can be built/loaded and falls back to pure
+  Python otherwise; ``python`` forces the fallback; ``c`` requires the
+  compiled core and raises when it cannot be loaded.
+* ``REPRO_SEARCH`` — the search kernel, same semantics.  When it is *not
+  set* it inherits the ``REPRO_PROPAGATION`` mode, so pinning
+  ``REPRO_PROPAGATION=python`` keeps the whole solver interpreted (CI's
+  fallback job stays pure) and the default ``auto`` build accelerates both
+  layers.  Set it explicitly to mix backends — e.g.
+  ``REPRO_PROPAGATION=python REPRO_SEARCH=auto`` runs the compiled search
+  kernel above a Python root-level propagator.
+
+The compiled artifact is cached under ``_build/`` next to this module
+(override the location with ``REPRO_SAT_BUILD_DIR``; CI's compiler-less job
+points it at an empty directory so a stale artifact cannot mask a missing
+compiler), keyed by a hash of the C source, so rebuilding only happens when
+the source changes.  When the package directory is not writable, the core is compiled
 into a fresh private per-process temporary directory instead — cached
 artifacts are never loaded from shared locations other users could write.
 """
@@ -33,22 +52,41 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-_SOURCE = Path(__file__).resolve().parent / "propagate.c"
+_SOURCE = Path(__file__).resolve().parent / "search.c"
 
-#: Why the C core is unavailable (diagnostic; None when it loaded).
+#: Why the C cores are unavailable (diagnostic; None when the library loaded).
 unavailable_reason: Optional[str] = None
 
 _loaded: Optional[ctypes.CDLL] = None
 _attempted = False
 
+_MODES = ("auto", "python", "c")
 
-def _requested_mode() -> str:
-    mode = os.environ.get("REPRO_PROPAGATION", "auto").strip().lower()
-    if mode not in ("auto", "python", "c"):
-        raise ValueError(
-            f"REPRO_PROPAGATION={mode!r}: expected 'auto', 'python' or 'c'"
-        )
+
+def _env_mode(name: str) -> Optional[str]:
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    mode = raw.strip().lower()
+    if mode not in _MODES:
+        raise ValueError(f"{name}={mode!r}: expected 'auto', 'python' or 'c'")
     return mode
+
+
+def propagation_mode() -> str:
+    """The requested propagation mode (``REPRO_PROPAGATION``, default auto)."""
+    return _env_mode("REPRO_PROPAGATION") or "auto"
+
+
+def search_mode() -> str:
+    """The requested search-kernel mode.
+
+    ``REPRO_SEARCH`` when set; otherwise inherited from
+    ``REPRO_PROPAGATION`` so a pinned pure-Python propagation run stays
+    pure end to end.
+    """
+    explicit = _env_mode("REPRO_SEARCH")
+    return explicit if explicit is not None else propagation_mode()
 
 
 def _find_compiler() -> Optional[str]:
@@ -68,9 +106,10 @@ def _build_dir() -> Optional[Path]:
     package is not writable the loader compiles into a fresh private
     per-process directory instead (no reuse).
     """
-    local = _SOURCE.parent / "_build"
+    override = os.environ.get("REPRO_SAT_BUILD_DIR")
+    local = Path(override) if override else _SOURCE.parent / "_build"
     try:
-        local.mkdir(exist_ok=True)
+        local.mkdir(parents=True, exist_ok=True)
         probe = local / ".writable"
         probe.touch()
         probe.unlink()
@@ -83,7 +122,7 @@ def _compile() -> Path:
     source = _SOURCE.read_bytes()
     digest = hashlib.sha256(source).hexdigest()[:16]
     cache = _build_dir()
-    out = None if cache is None else cache / f"_propagate_{digest}.so"
+    out = None if cache is None else cache / f"_search_{digest}.so"
     if out is not None and out.exists():
         return out
     compiler = _find_compiler()
@@ -93,7 +132,7 @@ def _compile() -> Path:
         # Private per-process directory (0700 by mkdtemp): built fresh every
         # process, never loaded from a path another user could pre-create.
         private = Path(tempfile.mkdtemp(prefix="repro-sat-"))
-        target = private / f"_propagate_{digest}.so"
+        target = private / f"_search_{digest}.so"
         subprocess.run(
             [compiler, "-O2", "-shared", "-fPIC", "-o", str(target), str(_SOURCE)],
             check=True,
@@ -113,26 +152,39 @@ def _compile() -> Path:
 
 
 def load_core() -> Optional[ctypes.CDLL]:
-    """Load (building if needed) the C core, or ``None`` when unavailable."""
+    """Load (building if needed) the C library, or ``None`` when unavailable.
+
+    The library is only built when at least one of the two knobs wants a
+    compiled core; pinning both to ``python`` never invokes a compiler.
+    """
     global _loaded, _attempted, unavailable_reason
     if _attempted:
         return _loaded
     _attempted = True
-    mode = _requested_mode()
-    if mode == "python":
-        unavailable_reason = "disabled by REPRO_PROPAGATION=python"
+    pmode = propagation_mode()
+    smode = search_mode()
+    if pmode == "python" and smode == "python":
+        unavailable_reason = "disabled by REPRO_PROPAGATION/REPRO_SEARCH=python"
         return None
     try:
         library = ctypes.CDLL(str(_compile()))
-        function = library.repro_propagate
-        function.restype = ctypes.c_long
-        function.argtypes = [ctypes.c_void_p] * 7
+        propagate = library.repro_propagate
+        propagate.restype = ctypes.c_long
+        propagate.argtypes = [ctypes.c_void_p] * 7
+        search = library.repro_search
+        search.restype = ctypes.c_long
+        search.argtypes = [ctypes.c_void_p] * 18
         _loaded = library
     except Exception as error:  # compiler missing, sandboxed tmpdir, ...
         unavailable_reason = f"{type(error).__name__}: {error}"
-        if mode == "c":
+        required = []
+        if pmode == "c":
+            required.append("REPRO_PROPAGATION=c")
+        if smode == "c":
+            required.append("REPRO_SEARCH=c")
+        if required:
             raise RuntimeError(
-                f"REPRO_PROPAGATION=c but the C core failed to load: "
+                f"{' and '.join(required)} but the C core failed to load: "
                 f"{unavailable_reason}"
             ) from error
         _loaded = None
@@ -141,10 +193,57 @@ def load_core() -> Optional[ctypes.CDLL]:
 
 def propagate_function():
     """The raw ``repro_propagate`` C function, or ``None``."""
+    if propagation_mode() == "python":
+        return None
     library = load_core()
     return None if library is None else library.repro_propagate
 
 
+def search_function():
+    """The raw ``repro_search`` C function, or ``None``."""
+    if search_mode() == "python":
+        return None
+    library = load_core()
+    return None if library is None else library.repro_search
+
+
+def propagate_unavailable_reason() -> Optional[str]:
+    """Why ``repro_propagate`` cannot be used (``None`` when it can).
+
+    Distinguishes an environment pin from a genuine build/load failure so
+    error messages name the actual cause.
+    """
+    if propagation_mode() == "python":
+        return "disabled by REPRO_PROPAGATION=python"
+    load_core()
+    return unavailable_reason
+
+
+def search_unavailable_reason() -> Optional[str]:
+    """Why ``repro_search`` cannot be used (``None`` when it can)."""
+    if search_mode() == "python":
+        if _env_mode("REPRO_SEARCH") == "python":
+            return "disabled by REPRO_SEARCH=python"
+        return "disabled by REPRO_PROPAGATION=python (inherited by REPRO_SEARCH)"
+    load_core()
+    return unavailable_reason
+
+
 def backend() -> str:
     """Which propagation backend new :class:`Solver` instances will use."""
-    return "c" if load_core() is not None else "python"
+    return "c" if propagate_function() is not None else "python"
+
+
+def search_backend(follow: Optional[str] = None) -> str:
+    """Which search backend new :class:`Solver` instances will use.
+
+    ``follow`` is the propagation backend a specific solver resolved to:
+    when ``REPRO_SEARCH`` is not set explicitly, the solver's search
+    backend follows its propagation backend, so ``Solver(backend="python")``
+    is fully interpreted and ``Solver(backend="c")`` is fully compiled.
+    """
+    if _env_mode("REPRO_SEARCH") is None and follow is not None:
+        if follow == "c" and search_function() is None:  # pragma: no cover
+            return "python"
+        return follow
+    return "c" if search_function() is not None else "python"

@@ -4,50 +4,99 @@ The solver keeps every unassigned variable in this heap and always decides on
 the variable with the highest VSIDS activity.  The heap supports the three
 operations CDCL needs: insert, pop-max, and "bubble up after an activity
 bump" (:meth:`ActivityHeap.update`).
+
+The heap's storage is *shareable with the C search kernel*: when constructed
+with ``flat=True`` the heap entries and the per-variable position index live
+in ``array('l')`` buffers (and the activity values the solver owns live in an
+``array('d')``), so the compiled kernel in ``search.c`` performs the exact
+sift-up/sift-down/rebuild sequence over the very same memory.  To make that
+possible the logical heap size is held in an explicit counter
+(:attr:`_size`) decoupled from the physical buffer length — the buffers are
+grown to one slot per variable up front and never shrink, and the C side
+reports the post-call size back through its state array
+(:meth:`set_size`).  The pure-Python methods below implement the identical
+algorithm over either storage type.
 """
 
 from __future__ import annotations
+
+from array import array
 
 
 class ActivityHeap:
     """Binary max-heap over variable indices keyed by an activity array.
 
-    The ``activity`` list is owned by the solver and mutated in place; the
+    The ``activity`` buffer is owned by the solver and mutated in place; the
     heap only reads it.  ``positions[var]`` is the index of ``var`` inside
-    ``self._heap`` or ``-1`` when the variable is not currently in the heap.
+    the heap storage or ``-1`` when the variable is not currently in the
+    heap.  Only the first :attr:`_size` entries of the heap buffer are live.
     """
 
-    def __init__(self, activity: list[float]) -> None:
+    def __init__(self, activity, flat: bool = False) -> None:
         self._activity = activity
-        self._heap: list[int] = []
-        self._positions: list[int] = []
+        if flat:
+            self._heap = array("l")
+            self._positions = array("l")
+        else:
+            self._heap: list[int] = []
+            self._positions: list[int] = []
+        self._size = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
     def __contains__(self, var: int) -> bool:
         return var < len(self._positions) and self._positions[var] >= 0
+
+    # ------------------------------------------------------- C buffer access
+
+    @property
+    def size(self) -> int:
+        """The logical number of live heap entries."""
+        return self._size
+
+    def set_size(self, size: int) -> None:
+        """Adopt the heap size the C kernel reports after a search stint."""
+        self._size = size
+
+    def heap_buffer(self):
+        """The raw heap-entry storage (an ``array('l')`` when flat)."""
+        return self._heap
+
+    def positions_buffer(self):
+        """The raw per-variable position storage."""
+        return self._positions
+
+    # -------------------------------------------------------------- mutation
 
     def grow_to(self, num_vars: int) -> None:
         """Make room for variables ``1..num_vars``."""
         while len(self._positions) <= num_vars:
             self._positions.append(-1)
+        while len(self._heap) < num_vars:
+            self._heap.append(0)
 
     def insert(self, var: int) -> None:
         """Insert ``var`` if it is not already present."""
         self.grow_to(var)
         if self._positions[var] >= 0:
             return
-        self._heap.append(var)
-        self._positions[var] = len(self._heap) - 1
-        self._sift_up(len(self._heap) - 1)
+        self._heap[self._size] = var
+        self._positions[var] = self._size
+        self._sift_up(self._size)
+        self._size += 1
 
     def pop_max(self) -> int:
         """Remove and return the variable with the highest activity."""
+        if not self._size:
+            # The flat buffers are pre-padded, so without this guard an
+            # empty pop would silently hand back a stale entry.
+            raise IndexError("pop from an empty activity heap")
         top = self._heap[0]
-        last = self._heap.pop()
+        self._size -= 1
+        last = self._heap[self._size]
         self._positions[top] = -1
-        if self._heap:
+        if self._size:
             self._heap[0] = last
             self._positions[last] = 0
             self._sift_down(0)
@@ -61,8 +110,7 @@ class ActivityHeap:
 
     def rebuild(self) -> None:
         """Re-heapify after a global activity rescale."""
-        heap = self._heap
-        for i in range(len(heap) // 2 - 1, -1, -1):
+        for i in range(self._size // 2 - 1, -1, -1):
             self._sift_down(i)
 
     def _sift_up(self, pos: int) -> None:
@@ -82,7 +130,7 @@ class ActivityHeap:
 
     def _sift_down(self, pos: int) -> None:
         heap, positions, activity = self._heap, self._positions, self._activity
-        size = len(heap)
+        size = self._size
         var = heap[pos]
         act = activity[var]
         while True:

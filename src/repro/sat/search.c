@@ -1,0 +1,612 @@
+/* The C-accelerated solver cores of repro.sat.solver.
+ *
+ * Two entry points are exported, both operating on flat buffers allocated
+ * and owned by the Python side:
+ *
+ *   repro_propagate   two-watched-literal unit propagation (the PR-3 core,
+ *                     called once per search step by the pure-Python loop);
+ *   repro_search      the full CDCL search kernel: propagation, first-UIP
+ *                     conflict analysis with clause learning and local
+ *                     minimization, backjumping, VSIDS bump/decay/rescale,
+ *                     the activity order heap, phase saving, assumption
+ *                     decisions and Luby restarts.
+ *
+ * Each implements exactly the same algorithm, over exactly the same data
+ * layout, as its pure-Python mirror (Solver._propagate_python and
+ * Solver._search_python).  Any behavioural divergence between the two is a
+ * bug; the differential suites (tests/test_propagation_backends.py,
+ * tests/test_search_backends.py) compare models, conflicts, cores and
+ * statistics of full solver runs across every backend combination.
+ *
+ * Data layout (all "long" words unless noted):
+ *
+ *   arena    clause arena.  A clause at offset `ref` occupies
+ *              arena[ref]     header: size << 2 | dead << 1 | learnt
+ *              arena[ref+1]   next watch pointer for watch slot 0
+ *              arena[ref+2]   next watch pointer for watch slot 1
+ *              arena[ref+3]   blocker literal for watch slot 0
+ *              arena[ref+4]   blocker literal for watch slot 1
+ *              arena[ref+5..] the literals (internal 2*var+sign encoding)
+ *            A watch pointer packs (ref << 1) | slot; 0 is the list end
+ *            (offset 0 of the arena is a sentinel, so no clause has ref 0).
+ *            The arena's *logical* length may trail its physical capacity:
+ *            the kernel appends learnt clauses into the preallocated slack
+ *            and exits with EXIT_CAPACITY before it could overflow.
+ *   heads    per-literal heads of the intrusive watcher lists.
+ *   assigns  per-variable value: -1 unassigned, 0 false, 1 true (signed char).
+ *   levels   per-variable decision level.
+ *   reasons  per-variable reason clause ref (0 = decision / no reason).
+ *   trail    the assignment trail (fixed capacity: one slot per variable).
+ *   trail_lim   per-decision-level trail bounds (capacity provisioned by the
+ *            driver: one slot per variable plus one per assumption).
+ *   polarity per-variable saved phase (signed char 0/1).
+ *   seen     per-variable conflict-analysis marker (signed char 0/1).
+ *   activity per-variable VSIDS activity (double).
+ *   heap / heap_pos   the activity order heap and its position index
+ *            (heap_pos[var] is -1 when var is not in the heap).
+ *   assumptions   the solve call's assumption literals (internal encoding).
+ *   scratch  out-buffer receiving the refs of newly learnt clauses; the
+ *            driver drains it into Solver._learnts after every call.
+ *   bumplog  out-buffer recording clause-activity events in execution
+ *            order: a positive entry is a learnt clause ref that was
+ *            bumped, a 0 entry is the per-conflict decay marker.  Clause
+ *            activities only influence Python-side database reduction, so
+ *            the driver replays the log through Solver._clause_bump for a
+ *            bit-identical activity table without the kernel needing the
+ *            activity dict.
+ *   tmp      analysis scratch: the first num_vars+2 words hold the raw
+ *            learnt clause, the second num_vars+2 words the minimized one.
+ *   state    the 32-word bookkeeping block (see _S_* in solver.py).
+ *   fp       [var_inc, var_decay] (doubles, var_inc written back).
+ *
+ * repro_search returns (and stores in state) one of the EXIT_* codes.
+ */
+
+#define HDR 5
+#define FLAG_LEARNT 1
+
+#define EXIT_SAT 1
+#define EXIT_UNSAT 2
+#define EXIT_ASSUMPTION 3
+#define EXIT_REDUCE 4
+#define EXIT_CAPACITY 5
+#define EXIT_CONFLICT_BUDGET 6
+#define EXIT_DECISION_BUDGET 7
+
+/* ------------------------------------------------------------ propagation */
+
+static long propagate(long *arena, long *heads, signed char *assigns,
+                      long *levels, long *reasons, long *trail,
+                      long *qhead_io, long *trail_len_io, long current_level,
+                      long *count_io)
+{
+    long qhead = *qhead_io;
+    long trail_len = *trail_len_io;
+    long propagated = 0;
+    long conflict = 0;
+
+    while (qhead < trail_len) {
+        long p = trail[qhead++];
+        propagated++;
+        long false_lit = p ^ 1;
+        long *prev = &heads[false_lit];
+        long ptr = *prev;
+        while (ptr) {
+            long ref = ptr >> 1;
+            long slot = ptr & 1;
+            long next = arena[ref + 1 + slot];
+            /* Blocker literal: when the cached literal is already true the
+             * clause is satisfied and needs no inspection at all. */
+            long blocker = arena[ref + 3 + slot];
+            signed char bval = assigns[blocker >> 1];
+            if (bval >= 0 && (bval ^ (blocker & 1)) == 1) {
+                prev = &arena[ref + 1 + slot];
+                ptr = next;
+                continue;
+            }
+            long base = ref + HDR;
+            long other = arena[base + (1 - slot)];
+            if (other != blocker) {
+                signed char oval = assigns[other >> 1];
+                if (oval >= 0 && (oval ^ (other & 1)) == 1) {
+                    arena[ref + 3 + slot] = other; /* refresh the blocker */
+                    prev = &arena[ref + 1 + slot];
+                    ptr = next;
+                    continue;
+                }
+            }
+            long size = arena[ref] >> 2;
+            int moved = 0;
+            for (long k = 2; k < size; k++) {
+                long lit = arena[base + k];
+                signed char v = assigns[lit >> 1];
+                if (v < 0 || (v ^ (lit & 1)) == 1) {
+                    /* Move this watch slot to `lit`. */
+                    arena[base + slot] = lit;
+                    arena[base + k] = false_lit;
+                    arena[ref + 3 + slot] = other;
+                    arena[ref + 1 + slot] = heads[lit];
+                    heads[lit] = ptr;
+                    *prev = next;
+                    moved = 1;
+                    break;
+                }
+            }
+            if (moved) {
+                ptr = next;
+                continue;
+            }
+            /* No replacement: the clause is unit on `other` or conflicting. */
+            {
+                signed char oval = assigns[other >> 1];
+                if (oval >= 0 && (oval ^ (other & 1)) == 0) {
+                    qhead = trail_len; /* consume the queue */
+                    conflict = ref;
+                    goto done;
+                }
+            }
+            {
+                long var = other >> 1;
+                assigns[var] = (signed char) ((other & 1) ^ 1);
+                levels[var] = current_level;
+                reasons[var] = ref;
+                trail[trail_len++] = other;
+            }
+            prev = &arena[ref + 1 + slot];
+            ptr = next;
+        }
+    }
+done:
+    *qhead_io = qhead;
+    *trail_len_io = trail_len;
+    *count_io += propagated;
+    return conflict;
+}
+
+long repro_propagate(long *arena, long *heads, signed char *assigns,
+                     long *levels, long *reasons, long *trail, long *state)
+{
+    long qhead = state[0];
+    long trail_len = state[1];
+    long conflict = propagate(arena, heads, assigns, levels, reasons, trail,
+                              &qhead, &trail_len, state[2], &state[3]);
+    state[0] = qhead;
+    state[1] = trail_len;
+    return conflict;
+}
+
+/* ------------------------------------------------------------- order heap */
+
+static void heap_sift_up(long *heap, long *pos, double *act, long i)
+{
+    long var = heap[i];
+    double a = act[var];
+    while (i > 0) {
+        long parent = (i - 1) >> 1;
+        long pvar = heap[parent];
+        if (act[pvar] >= a)
+            break;
+        heap[i] = pvar;
+        pos[pvar] = i;
+        i = parent;
+    }
+    heap[i] = var;
+    pos[var] = i;
+}
+
+static void heap_sift_down(long *heap, long *pos, double *act, long size, long i)
+{
+    long var = heap[i];
+    double a = act[var];
+    for (;;) {
+        long left = 2 * i + 1;
+        if (left >= size)
+            break;
+        long right = left + 1;
+        long child = left;
+        if (right < size && act[heap[right]] > act[heap[left]])
+            child = right;
+        long cvar = heap[child];
+        if (a >= act[cvar])
+            break;
+        heap[i] = cvar;
+        pos[cvar] = i;
+        i = child;
+    }
+    heap[i] = var;
+    pos[var] = i;
+}
+
+static void heap_insert(long *heap, long *pos, double *act, long *size, long var)
+{
+    if (pos[var] >= 0)
+        return;
+    heap[*size] = var;
+    pos[var] = *size;
+    heap_sift_up(heap, pos, act, *size);
+    (*size)++;
+}
+
+static long heap_pop(long *heap, long *pos, double *act, long *size)
+{
+    long top = heap[0];
+    (*size)--;
+    long last = heap[*size];
+    pos[top] = -1;
+    if (*size) {
+        heap[0] = last;
+        pos[last] = 0;
+        heap_sift_down(heap, pos, act, *size, 0);
+    }
+    return top;
+}
+
+static void var_bump(double *act, double *fp, long num_vars,
+                     long *heap, long *pos, long *heap_size, long var)
+{
+    act[var] += fp[0];
+    if (act[var] > 1e100) {
+        for (long v = 1; v <= num_vars; v++)
+            act[v] *= 1e-100;
+        fp[0] *= 1e-100;
+        for (long i = *heap_size / 2 - 1; i >= 0; i--)
+            heap_sift_down(heap, pos, act, *heap_size, i);
+    }
+    if (pos[var] >= 0)
+        heap_sift_up(heap, pos, act, pos[var]);
+}
+
+/* --------------------------------------------------------- search helpers */
+
+static void attach(long *arena, long *heads, long ref)
+{
+    long base = ref + HDR;
+    long lit0 = arena[base];
+    long lit1 = arena[base + 1];
+    arena[ref + 3] = lit1;
+    arena[ref + 4] = lit0;
+    arena[ref + 1] = heads[lit0];
+    heads[lit0] = ref << 1;
+    arena[ref + 2] = heads[lit1];
+    heads[lit1] = (ref << 1) | 1;
+}
+
+static void enqueue(signed char *assigns, long *levels, long *reasons,
+                    long *trail, long *trail_len, long level_count,
+                    long ilit, long reason_ref)
+{
+    long var = ilit >> 1;
+    if (assigns[var] >= 0)
+        return; /* mirror Solver._enqueue: already assigned, nothing to do */
+    assigns[var] = (signed char) ((ilit & 1) ^ 1);
+    levels[var] = level_count;
+    reasons[var] = reason_ref;
+    trail[(*trail_len)++] = ilit;
+}
+
+static void cancel_until(long *trail, long *trail_lim, signed char *assigns,
+                         signed char *polarity, long *reasons,
+                         long *heap, long *pos, double *act, long *heap_size,
+                         long *trail_len, long *qhead, long *level_count,
+                         long *search_floor, long level)
+{
+    if (*level_count <= level)
+        return;
+    if (level < *search_floor)
+        *search_floor = level;
+    long bound = trail_lim[level];
+    for (long index = *trail_len - 1; index >= bound; index--) {
+        long ilit = trail[index];
+        long var = ilit >> 1;
+        assigns[var] = -1;
+        polarity[var] = (signed char) (((ilit & 1) == 0) ? 1 : 0);
+        reasons[var] = 0;
+        heap_insert(heap, pos, act, heap_size, var);
+    }
+    *trail_len = bound;
+    *level_count = level;
+    *qhead = bound;
+}
+
+static long luby(long index)
+{
+    /* The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ... (0-based index). */
+    long size = 1, sequence = 0;
+    while (size < index + 1) {
+        sequence++;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != index) {
+        size = (size - 1) / 2;
+        sequence--;
+        index %= size;
+    }
+    return 1L << sequence;
+}
+
+/* First-UIP conflict analysis with seen-buffer local minimization.  The raw
+ * learnt clause is assembled in tmp[0..], the minimized clause (asserting
+ * literal first, deepest remaining literal second) in tmp[num_vars+2..].
+ * Returns the backjump level and stores the minimized length in *out_len. */
+static long analyze(long *arena, long *levels, long *reasons, long *trail,
+                    signed char *seen, double *act, double *fp, long num_vars,
+                    long *heap, long *pos, long *heap_size,
+                    long trail_len, long level_count, long conflict,
+                    long *tmp, long *bumplog, long *log_len,
+                    long *out_len, long *minimized_count)
+{
+    long *learnt = tmp;
+    long *minimized = tmp + num_vars + 2;
+    long llen = 1;
+    long counter = 0;
+    long p = -1;
+    long index = trail_len - 1;
+    long clause = conflict;
+
+    for (;;) {
+        if (arena[clause] & FLAG_LEARNT)
+            bumplog[(*log_len)++] = clause;
+        long base = clause + HDR;
+        long size = arena[clause] >> 2;
+        for (long k = 0; k < size; k++) {
+            long q = arena[base + k];
+            if (p != -1 && (q >> 1) == (p >> 1))
+                continue;
+            long var = q >> 1;
+            if (!seen[var] && levels[var] > 0) {
+                seen[var] = 1;
+                var_bump(act, fp, num_vars, heap, pos, heap_size, var);
+                if (levels[var] >= level_count)
+                    counter++;
+                else
+                    learnt[llen++] = q;
+            }
+        }
+        while (!seen[trail[index] >> 1])
+            index--;
+        p = trail[index];
+        clause = reasons[p >> 1];
+        seen[p >> 1] = 0;
+        counter--;
+        index--;
+        if (counter == 0)
+            break;
+    }
+    learnt[0] = p ^ 1;
+
+    /* Local minimization over the shared seen buffer: seen[var] == 1 holds
+     * exactly for the vars of learnt[1..] here (the UIP was cleared when
+     * dequeued and cannot occur in a lower-level literal's reason).  A
+     * literal is redundant when every other literal of its reason clause
+     * is already in the learnt clause or fixed at level 0. */
+    long mlen = 1;
+    minimized[0] = learnt[0];
+    for (long i = 1; i < llen; i++) {
+        long q = learnt[i];
+        long reason = reasons[q >> 1];
+        if (!reason) {
+            minimized[mlen++] = q;
+            continue;
+        }
+        int redundant = 1;
+        long rbase = reason + HDR;
+        long rsize = arena[reason] >> 2;
+        for (long k = 0; k < rsize; k++) {
+            long var = arena[rbase + k] >> 1;
+            if (var != (q >> 1) && !seen[var] && levels[var] > 0) {
+                redundant = 0;
+                break;
+            }
+        }
+        if (redundant)
+            continue;
+        minimized[mlen++] = q;
+    }
+    for (long i = 1; i < llen; i++)
+        seen[learnt[i] >> 1] = 0;
+    *minimized_count += llen - mlen;
+
+    long backjump = 0;
+    if (mlen > 1) {
+        long max_index = 1;
+        long max_level = levels[minimized[1] >> 1];
+        for (long i = 2; i < mlen; i++) {
+            long lvl = levels[minimized[i] >> 1];
+            if (lvl > max_level) {
+                max_level = lvl;
+                max_index = i;
+            }
+        }
+        long swap = minimized[1];
+        minimized[1] = minimized[max_index];
+        minimized[max_index] = swap;
+        backjump = max_level;
+    }
+    *out_len = mlen;
+    return backjump;
+}
+
+/* ------------------------------------------------------------ the kernel */
+
+long repro_search(long *arena, long *heads, signed char *assigns, long *levels,
+                  long *reasons, long *trail, long *trail_lim,
+                  signed char *polarity, signed char *seen, double *activity,
+                  long *heap, long *heap_pos, long *assumptions,
+                  long *scratch, long *bumplog, long *tmp,
+                  long *state, double *fp)
+{
+    long qhead = state[0];
+    long trail_len = state[1];
+    long level_count = state[2];
+    long arena_len = state[4];
+    long arena_cap = state[5];
+    long heap_size = state[6];
+    long num_vars = state[7];
+    long n_assumptions = state[8];
+    long learnt_count = state[9];
+    long max_learnts = state[10];
+    long restart_index = state[11];
+    long conflict_budget = state[12];
+    long conflicts_since_restart = state[13];
+    long total_conflicts = state[14];
+    long max_conflicts = state[15];
+    long free_decisions = state[16];
+    long max_decisions = state[17];
+    long search_floor = state[18];
+    long scratch_len = state[28];
+    long scratch_cap = state[29];
+    long log_len = state[30];
+    long log_cap = state[31];
+    long exit_reason = 0;
+    long exit_payload = 0;
+
+    for (;;) {
+        /* One conflict analysis may allocate a learnt clause of up to
+         * num_vars literals, log one bump per resolved clause plus the
+         * learnt ref and the decay sentinel, and push one scratch ref:
+         * leave for Python before any of that could overflow. */
+        if (arena_cap - arena_len < num_vars + HDR + 2 ||
+            scratch_len >= scratch_cap ||
+            log_cap - log_len < num_vars + 3) {
+            exit_reason = EXIT_CAPACITY;
+            break;
+        }
+
+        long conflict = propagate(arena, heads, assigns, levels, reasons,
+                                  trail, &qhead, &trail_len, level_count,
+                                  &state[3]);
+        if (conflict) {
+            state[21]++; /* conflicts */
+            conflicts_since_restart++;
+            total_conflicts++;
+            if (max_conflicts >= 0 && total_conflicts > max_conflicts) {
+                exit_reason = EXIT_CONFLICT_BUDGET;
+                break;
+            }
+            if (level_count == 0) {
+                exit_reason = EXIT_UNSAT;
+                break;
+            }
+            long mlen = 0;
+            long backjump = analyze(arena, levels, reasons, trail, seen,
+                                    activity, fp, num_vars, heap, heap_pos,
+                                    &heap_size, trail_len, level_count,
+                                    conflict, tmp, bumplog, &log_len,
+                                    &mlen, &state[26]);
+            state[25]++; /* analyses */
+            state[27] += level_count - backjump; /* backjumped levels */
+            cancel_until(trail, trail_lim, assigns, polarity, reasons,
+                         heap, heap_pos, activity, &heap_size,
+                         &trail_len, &qhead, &level_count, &search_floor,
+                         backjump);
+            long *clause = tmp + num_vars + 2;
+            if (mlen == 1) {
+                enqueue(assigns, levels, reasons, trail, &trail_len,
+                        level_count, clause[0], 0);
+            } else {
+                long ref = arena_len;
+                arena[ref] = (mlen << 2) | FLAG_LEARNT;
+                arena[ref + 1] = 0;
+                arena[ref + 2] = 0;
+                arena[ref + 3] = 0;
+                arena[ref + 4] = 0;
+                for (long i = 0; i < mlen; i++)
+                    arena[ref + HDR + i] = clause[i];
+                arena_len += HDR + mlen;
+                attach(arena, heads, ref);
+                scratch[scratch_len++] = ref;
+                bumplog[log_len++] = ref;
+                state[24]++; /* learnt clauses */
+                learnt_count++;
+                enqueue(assigns, levels, reasons, trail, &trail_len,
+                        level_count, clause[0], ref);
+            }
+            bumplog[log_len++] = 0; /* per-conflict clause-decay marker */
+            fp[0] /= fp[1];         /* VSIDS decay: var_inc /= var_decay */
+            continue;
+        }
+
+        if (conflicts_since_restart >= conflict_budget) {
+            state[23]++; /* restarts */
+            restart_index++;
+            conflict_budget = 100 * luby(restart_index);
+            conflicts_since_restart = 0;
+            /* Assumption-aware restart: keep the established assumption
+             * levels and their propagations, undoing only the free
+             * decisions above them. */
+            cancel_until(trail, trail_lim, assigns, polarity, reasons,
+                         heap, heap_pos, activity, &heap_size,
+                         &trail_len, &qhead, &level_count, &search_floor,
+                         level_count < n_assumptions ? level_count
+                                                     : n_assumptions);
+            continue;
+        }
+
+        if (learnt_count >= max_learnts + trail_len) {
+            exit_reason = EXIT_REDUCE;
+            break;
+        }
+
+        long next_lit = -1;
+        while (level_count < n_assumptions) {
+            long assumption = assumptions[level_count];
+            signed char av = assigns[assumption >> 1];
+            long value = (av < 0) ? -1 : (av ^ (assumption & 1));
+            if (value == 1) {
+                trail_lim[level_count++] = trail_len;
+            } else if (value == 0) {
+                exit_reason = EXIT_ASSUMPTION;
+                exit_payload = assumption;
+                goto out;
+            } else {
+                next_lit = assumption;
+                break;
+            }
+        }
+        if (next_lit < 0) {
+            while (heap_size > 0) {
+                long var = heap_pop(heap, heap_pos, activity, &heap_size);
+                if (assigns[var] < 0) {
+                    state[22]++; /* decisions */
+                    next_lit = 2 * var + (polarity[var] ? 0 : 1);
+                    break;
+                }
+            }
+            if (next_lit < 0) {
+                exit_reason = EXIT_SAT;
+                break;
+            }
+            free_decisions++;
+            if (max_decisions >= 0 && free_decisions > max_decisions) {
+                /* The branch variable was popped but never enqueued:
+                 * reinsert it so it is not lost to future searches
+                 * (mirrors Solver._search_python). */
+                heap_insert(heap, heap_pos, activity, &heap_size,
+                            next_lit >> 1);
+                exit_reason = EXIT_DECISION_BUDGET;
+                break;
+            }
+        }
+        trail_lim[level_count++] = trail_len;
+        enqueue(assigns, levels, reasons, trail, &trail_len, level_count,
+                next_lit, 0);
+    }
+out:
+    state[0] = qhead;
+    state[1] = trail_len;
+    state[2] = level_count;
+    state[4] = arena_len;
+    state[6] = heap_size;
+    state[9] = learnt_count;
+    state[11] = restart_index;
+    state[12] = conflict_budget;
+    state[13] = conflicts_since_restart;
+    state[14] = total_conflicts;
+    state[16] = free_decisions;
+    state[18] = search_floor;
+    state[19] = exit_reason;
+    state[20] = exit_payload;
+    state[28] = scratch_len;
+    state[30] = log_len;
+    return exit_reason;
+}

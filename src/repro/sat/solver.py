@@ -40,19 +40,34 @@ the reproduction:
   under the kept trail; otherwise the solver transparently falls back to
   a full restart from level 0.
 
-**Clause storage and propagation.**  Clauses live in one flat *arena* (a
-``long`` array) rather than as per-clause Python objects: a clause is an
+**Clause storage and the search kernel.**  Clauses live in one flat *arena*
+(a ``long`` array) rather than as per-clause Python objects: a clause is an
 integer offset, its two watcher-list links and *blocker literals* are part
 of its header, and the per-literal watch lists are intrusive linked lists
-threaded through the arena.  The propagation loop skips clause inspection
-entirely when a watcher's cached blocker literal is already true.  Because
-the whole search state (arena, watch heads, assignments, levels, reasons,
-trail) is held in flat ``array('l')`` buffers when the optional
-C-accelerated core is available (see :mod:`repro.sat._ccore`), the hottest
-loop runs in C over the very same memory; the pure-Python loop implements
-the identical algorithm over plain lists and remains the always-tested
-fallback.  Both backends produce identical assignments, conflicts and
-statistics.
+threaded through the arena.  The arena's *logical* length
+(:attr:`Solver._arena_len`) is tracked separately from the physical buffer
+length so the compiled kernel can append learnt clauses into preallocated
+slack without returning to Python.
+
+The whole search state — arena, watch heads, assignments, levels, reasons,
+trail, saved phases, VSIDS activities, the analysis ``seen`` buffer and the
+order heap — is held in flat ``array``-backed buffers whenever either
+compiled backend is active (see :mod:`repro.sat._ccore`).  Two compiled
+entry points operate over that memory:
+
+* ``repro_propagate`` — the unit-propagation core (``REPRO_PROPAGATION``),
+  called once per search step by the pure-Python loop;
+* ``repro_search`` — the full CDCL *search kernel* (``REPRO_SEARCH``):
+  propagation, first-UIP conflict analysis with clause learning and local
+  minimization, backjumping, VSIDS bump/decay/rescale, the activity order
+  heap, phase saving, assumption decisions and Luby restarts all run inside
+  C, returning to Python only for the rare control events (SAT/UNSAT
+  answers, assumption-core extraction, learnt-database reduction, budget
+  exhaustion, and buffer-capacity growth).
+
+The pure-Python loop implements the identical algorithm over plain lists
+and remains the always-tested fallback; every backend combination produces
+bit-identical models, conflicts, cores and statistics.
 
 Literals use the DIMACS convention (non-zero signed integers) at the API
 boundary and a packed even/odd encoding internally.
@@ -78,6 +93,52 @@ _HDR = 5
 #: Arena header flag bits.
 _FLAG_LEARNT = 1
 _FLAG_DEAD = 2
+
+#: Exit reasons the C search kernel reports back through its state buffer.
+#: They mirror the control points where the pure-Python loop leaves its
+#: ``while True`` body (or needs services only Python provides).
+_EXIT_SAT = 1  # every variable assigned: a model is on the trail
+_EXIT_UNSAT = 2  # conflict at decision level 0: permanently unsatisfiable
+_EXIT_ASSUMPTION = 3  # an assumption is falsified: extract a core
+_EXIT_REDUCE = 4  # the learnt database hit its size budget
+_EXIT_CAPACITY = 5  # arena/scratch/log slack too small for another conflict
+_EXIT_CONFLICT_BUDGET = 6  # Solver.max_conflicts exhausted
+_EXIT_DECISION_BUDGET = 7  # Solver.max_decisions exhausted
+
+#: Layout of the search kernel's ``state`` array (one slot per line).
+_S_QHEAD = 0
+_S_TRAIL_LEN = 1
+_S_LEVELS = 2
+_S_PROPAGATIONS = 3
+_S_ARENA_LEN = 4
+_S_ARENA_CAP = 5
+_S_HEAP_SIZE = 6
+_S_NUM_VARS = 7
+_S_NUM_ASSUMPTIONS = 8
+_S_LEARNT_COUNT = 9
+_S_MAX_LEARNTS = 10
+_S_RESTART_INDEX = 11
+_S_CONFLICT_BUDGET = 12
+_S_CONFLICTS_SINCE_RESTART = 13
+_S_TOTAL_CONFLICTS = 14
+_S_MAX_CONFLICTS = 15
+_S_FREE_DECISIONS = 16
+_S_MAX_DECISIONS = 17
+_S_SEARCH_FLOOR = 18
+_S_EXIT_REASON = 19
+_S_EXIT_PAYLOAD = 20
+_S_D_CONFLICTS = 21
+_S_D_DECISIONS = 22
+_S_D_RESTARTS = 23
+_S_D_LEARNTS = 24
+_S_D_ANALYSES = 25
+_S_D_MINIMIZED = 26
+_S_D_BACKJUMPED = 27
+_S_SCRATCH_LEN = 28
+_S_SCRATCH_CAP = 29
+_S_LOG_LEN = 30
+_S_LOG_CAP = 31
+_S_WORDS = 32
 
 
 @dataclass
@@ -111,6 +172,15 @@ class SolverStats:
     :meth:`snapshot` at the phase boundary and :meth:`since` afterwards,
     which is how the MaxSAT engine reports clean per-layer (per-test)
     statistics on a long-lived session solver.
+
+    Conflict analysis has its own counters so the Table 3 benchmarks can
+    report analysis throughput (``conflicts_per_second``) and how much work
+    first-UIP resolution and minimization actually do: ``analyses`` counts
+    conflicts analyzed (conflicts at level 0 terminate the search without
+    analysis), ``minimized_literals`` counts literals dropped by local
+    clause minimization, and ``backjumped_levels`` sums the decision levels
+    undone by conflict-driven backjumps.  All three are bit-identical
+    between the Python and C search backends.
     """
 
     conflicts: int = 0
@@ -121,6 +191,9 @@ class SolverStats:
     deleted_clauses: int = 0
     solve_calls: int = 0
     max_vars: int = 0
+    analyses: int = 0
+    minimized_literals: int = 0
+    backjumped_levels: int = 0
     extra: dict = field(default_factory=dict)
 
     def snapshot(self) -> "SolverStats":
@@ -138,6 +211,9 @@ class SolverStats:
             deleted_clauses=self.deleted_clauses - earlier.deleted_clauses,
             solve_calls=self.solve_calls - earlier.solve_calls,
             max_vars=self.max_vars,
+            analyses=self.analyses - earlier.analyses,
+            minimized_literals=self.minimized_literals - earlier.minimized_literals,
+            backjumped_levels=self.backjumped_levels - earlier.backjumped_levels,
         )
 
 
@@ -157,21 +233,46 @@ class Solver:
     raises when unavailable), ``"python"`` (the pure-Python loop), or
     ``None`` for the process-wide default reported by
     :func:`repro.sat.propagation_backend`.
+
+    ``search`` selects the search kernel the same way (``"c"``,
+    ``"python"``, or ``None`` for the default reported by
+    :func:`repro.sat.search_backend`).  When ``REPRO_SEARCH`` is not set
+    explicitly the search backend follows the propagation backend, so
+    ``Solver(backend="python")`` is the fully interpreted solver and
+    ``Solver(backend="c")`` runs the whole inner loop compiled.  Note that
+    with ``search="c"`` the kernel performs its own propagation inline;
+    the ``backend`` knob then only governs propagation triggered outside
+    the search loop (root-level :meth:`add_clause` simplification).
     """
 
-    def __init__(self, backend: Optional[str] = None) -> None:
+    def __init__(
+        self, backend: Optional[str] = None, search: Optional[str] = None
+    ) -> None:
         if backend is None:
             backend = _ccore.backend()
         if backend not in ("c", "python"):
             raise ValueError(f"unknown propagation backend {backend!r}")
         if backend == "c" and _ccore.propagate_function() is None:
             raise RuntimeError(
-                f"C propagation core unavailable: {_ccore.unavailable_reason}"
+                "C propagation core unavailable: "
+                f"{_ccore.propagate_unavailable_reason()}"
+            )
+        if search is None:
+            search = _ccore.search_backend(follow=backend)
+        if search not in ("c", "python"):
+            raise ValueError(f"unknown search backend {search!r}")
+        if search == "c" and _ccore.search_function() is None:
+            raise RuntimeError(
+                f"C search kernel unavailable: {_ccore.search_unavailable_reason()}"
             )
         self.backend = backend
+        self.search_backend = search
         self._use_c = backend == "c"
-        if self._use_c:
-            # Flat C-addressable buffers: the compiled core walks these via
+        self._use_c_search = search == "c"
+        flat = self._use_c or self._use_c_search
+        self._flat = flat
+        if flat:
+            # Flat C-addressable buffers: the compiled cores walk these via
             # raw pointers, the Python control plane via normal indexing.
             self._arena = array("l", [0])
             self._heads = array("l", [0, 0])
@@ -179,8 +280,9 @@ class Solver:
             self._level = array("l", [0])
             self._reason = array("l", [0])
             self._trail = array("l")
-            self._state = array("l", [0, 0, 0, 0])
-            self._cfn = _ccore.propagate_function()
+            self._polarity = array("b", [0])
+            self._activity = array("d", [0.0])
+            self._seen = array("b", [0])
         else:
             self._arena = [0]
             self._heads = [0, 0]
@@ -188,20 +290,36 @@ class Solver:
             self._level = [0]
             self._reason = [0]
             self._trail = []
-            self._state = None
-            self._cfn = None
+            self._polarity = [False]
+            self._activity = [0.0]
+            self._seen = [0]
+        self._state = array("l", [0, 0, 0, 0]) if self._use_c else None
+        self._cfn = _ccore.propagate_function() if self._use_c else None
+        if self._use_c_search:
+            self._sstate = array("l", [0] * _S_WORDS)
+            self._sfloat = array("d", [0.0, 0.0])
+            self._csearch = _ccore.search_function()
+        else:
+            self._sstate = None
+            self._sfloat = None
+            self._csearch = None
+        # Scratch buffers marshalled in/out around each kernel call; grown
+        # lazily and reused across solves.
+        self._assump_buf: Optional[array] = None
+        self._lim_buf: Optional[array] = None
+        self._scratch_buf: Optional[array] = None
+        self._bump_log: Optional[array] = None
+        self._analyze_buf: Optional[array] = None
+        self._arena_len = 1
         self._num_vars = 0
         self._clauses: list[int] = []
         self._learnts: list[int] = []
         self._activity_of: dict[int, float] = {}
         self._garbage = 0
         self._trail_len = 0
-        self._polarity: list[bool] = [False]
-        self._activity: list[float] = [0.0]
-        self._seen: list[int] = [0]
         self._trail_lim: list[int] = []
         self._qhead = 0
-        self._order = ActivityHeap(self._activity)
+        self._order = ActivityHeap(self._activity, flat=flat)
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
@@ -547,7 +665,7 @@ class Solver:
             if value != _UNDEF:
                 model[var] = value == _TRUE
             elif complete:
-                model[var] = self._polarity[var]
+                model[var] = bool(self._polarity[var])
         return model
 
     def root_value(self, lit: int) -> Optional[bool]:
@@ -690,12 +808,30 @@ class Solver:
     # ------------------------------------------------------- clause storage
 
     def _alloc(self, lits: Sequence[int], learnt: bool) -> int:
-        """Append a clause to the arena; returns its ref (arena offset)."""
+        """Write a clause at the arena's logical end; returns its ref.
+
+        The logical length (:attr:`_arena_len`) may trail the physical
+        buffer length: the C search kernel appends learnt clauses into the
+        preallocated slack, and compaction rebuilds the buffer exactly.
+        """
         arena = self._arena
-        ref = len(arena)
-        arena.append(len(lits) << 2 | (_FLAG_LEARNT if learnt else 0))
-        arena.extend((0, 0, 0, 0))
-        arena.extend(lits)
+        ref = self._arena_len
+        end = ref + _HDR + len(lits)
+        if len(arena) < end:
+            if self._flat:
+                arena.frombytes(bytes((end - len(arena)) * arena.itemsize))
+            else:
+                arena.extend([0] * (end - len(arena)))
+        arena[ref] = len(lits) << 2 | (_FLAG_LEARNT if learnt else 0)
+        arena[ref + 1] = 0
+        arena[ref + 2] = 0
+        arena[ref + 3] = 0
+        arena[ref + 4] = 0
+        index = ref + _HDR
+        for lit in lits:
+            arena[index] = lit
+            index += 1
+        self._arena_len = end
         return ref
 
     def _attach(self, ref: int) -> None:
@@ -744,8 +880,13 @@ class Solver:
         self._garbage += (header >> 2) + _HDR
 
     def _maybe_compact(self) -> None:
-        """Compact the arena when dead clauses dominate it."""
-        if self._garbage > 16384 and self._garbage * 2 > len(self._arena):
+        """Compact the arena when dead clauses dominate it.
+
+        The trigger compares against the *logical* length: the physical
+        buffer may carry preallocated slack for the C kernel, and the
+        compaction decision must be identical across backends.
+        """
+        if self._garbage > 16384 and self._garbage * 2 > self._arena_len:
             self._compact()
 
     def _compact(self) -> None:
@@ -756,10 +897,10 @@ class Solver:
         lists are rebuilt.
         """
         old = self._arena
-        fresh = array("l", [0]) if self._use_c else [0]
+        fresh = array("l", [0]) if self._flat else [0]
         remap: dict[int, int] = {}
         position = 1
-        end = len(old)
+        end = self._arena_len
         while position < end:
             header = old[position]
             size = header >> 2
@@ -770,6 +911,7 @@ class Solver:
                 fresh.extend(old[position + _HDR : position + _HDR + size])
             position += _HDR + size
         self._arena = fresh
+        self._arena_len = len(fresh)
         self._garbage = 0
         self._clauses = [remap[ref] for ref in self._clauses]
         self._learnts = [remap[ref] for ref in self._learnts]
@@ -832,7 +974,7 @@ class Solver:
         return self._propagate_python()
 
     def _propagate_python(self) -> Optional[int]:
-        """The pure-Python propagation loop (mirror of ``propagate.c``).
+        """The pure-Python propagation loop (mirror of ``search.c``).
 
         Walks the intrusive watcher list of each newly falsified literal:
         a watcher whose cached *blocker* literal is already true is skipped
@@ -1006,13 +1148,18 @@ class Solver:
                 break
         learnt[0] = p ^ 1
 
-        # Local (non-recursive) clause minimization: drop literals whose
-        # reason clause is entirely covered by other literals in the learnt
-        # clause.
-        marked = {q >> 1 for q in learnt}
+        # Local (non-recursive) clause minimization over the shared ``seen``
+        # buffer: at this point ``seen[var] == 1`` exactly for the variables
+        # of ``learnt[1:]`` (the UIP's variable was cleared when it was
+        # dequeued, and it cannot occur in the reason of a lower-level
+        # literal, so no separate marker set is needed).  A literal is
+        # redundant when every other literal of its reason clause is already
+        # in the learnt clause or fixed at level 0.
+        levels = self._level
+        reasons = self._reason
         minimized = [learnt[0]]
         for q in learnt[1:]:
-            reason = self._reason[q >> 1]
+            reason = reasons[q >> 1]
             if not reason:
                 minimized.append(q)
                 continue
@@ -1020,24 +1167,24 @@ class Solver:
             base = reason + _HDR
             for position in range(base, base + (arena[reason] >> 2)):
                 var = arena[position] >> 1
-                if var == (q >> 1):
-                    continue
-                if var not in marked and self._level[var] > 0:
+                if var != (q >> 1) and not seen[var] and levels[var] > 0:
                     redundant = False
                     break
             if not redundant:
                 minimized.append(q)
-        for q in learnt:
+        for q in learnt[1:]:
             seen[q >> 1] = 0
+        self.stats.analyses += 1
+        self.stats.minimized_literals += len(learnt) - len(minimized)
         learnt = minimized
 
         if len(learnt) == 1:
             backjump = 0
         else:
             max_index = 1
-            max_level = self._level[learnt[1] >> 1]
+            max_level = levels[learnt[1] >> 1]
             for position in range(2, len(learnt)):
-                lvl = self._level[learnt[position] >> 1]
+                lvl = levels[learnt[position] >> 1]
                 if lvl > max_level:
                     max_level = lvl
                     max_index = position
@@ -1124,6 +1271,12 @@ class Solver:
         return 1 << sequence
 
     def _search(self, assumptions: list[int]) -> bool:
+        if self._use_c_search:
+            return self._search_c(assumptions)
+        return self._search_python(assumptions)
+
+    def _search_python(self, assumptions: list[int]) -> bool:
+        """The pure-Python search loop (mirror of ``repro_search``)."""
         restart_index = 0
         conflict_budget = 100 * self._luby(restart_index)
         conflicts_since_restart = 0
@@ -1148,6 +1301,7 @@ class Solver:
                     self._core = []
                     return False
                 learnt, backjump_level = self._analyze(conflict)
+                self.stats.backjumped_levels += self._decision_level() - backjump_level
                 self._cancel_until(max(backjump_level, 0))
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], 0)
@@ -1200,12 +1354,196 @@ class Solver:
                     return True
                 free_decisions += 1
                 if self.max_decisions is not None and free_decisions > self.max_decisions:
+                    # The branch variable was popped from the order heap but
+                    # never enqueued; without reinsertion it would be lost
+                    # to every future search on this solver.
+                    self._order.insert(next_lit >> 1)
                     self._cancel_to_root()
                     raise DecisionBudgetExceeded(
                         f"exceeded decision budget of {self.max_decisions}"
                     )
             self._new_decision_level()
             self._enqueue(next_lit, 0)
+
+    # ------------------------------------------------------- C search kernel
+
+    def _ensure_buf(self, name: str, size: int) -> array:
+        """A cached ``array('l')`` scratch buffer of at least ``size`` slots."""
+        buf = getattr(self, name)
+        if buf is None or len(buf) < size:
+            buf = array("l", [0]) * max(size, 16)
+            setattr(self, name, buf)
+        return buf
+
+    def _search_c(self, assumptions: list[int]) -> bool:
+        """Drive the compiled search kernel (mirror of :meth:`_search_python`).
+
+        The kernel runs the entire inner CDCL loop — propagation, analysis,
+        learning, backjumping, VSIDS, restarts, decisions — over the shared
+        flat buffers and returns only for control events.  This driver
+        provisions buffer capacity, marshals the per-search bookkeeping in
+        and out through the state array, drains the refs of newly learnt
+        clauses, and replays the clause-activity bump log (clause activities
+        only influence Python-side database reduction, so the kernel records
+        *which* learnt clauses were bumped and Python applies the
+        bump/decay/rescale arithmetic — bit-identically, since the log
+        preserves execution order).
+        """
+        stats = self.stats
+        n_assumptions = len(assumptions)
+        restart_index = 0
+        conflict_budget = 100 * self._luby(restart_index)
+        conflicts_since_restart = 0
+        max_learnts = max(len(self._clauses) // 3, 2000)
+        total_conflicts = 0
+        free_decisions = 0
+        state = self._sstate
+        floats = self._sfloat
+        assump_buf = self._ensure_buf("_assump_buf", n_assumptions)
+        for index, ilit in enumerate(assumptions):
+            assump_buf[index] = ilit
+
+        while True:
+            num_vars = self._num_vars
+            arena = self._arena
+            # A single conflict analysis may allocate one learnt clause of
+            # up to num_vars literals, log one bump per resolved clause plus
+            # the learnt ref and a decay sentinel, and push one scratch ref.
+            # The kernel re-checks this margin before every analysis and
+            # exits with _EXIT_CAPACITY instead of overflowing.
+            needed = self._arena_len + num_vars + _HDR + 2
+            if len(arena) < needed:
+                target = max(
+                    needed,
+                    len(arena) + (len(arena) >> 1),
+                    self._arena_len + 65536,
+                )
+                arena.frombytes(bytes((target - len(arena)) * arena.itemsize))
+            scratch = self._ensure_buf("_scratch_buf", max(num_vars, 8192))
+            bump_log = self._ensure_buf(
+                "_bump_log", max(2 * num_vars + 4096, 16384)
+            )
+            analyze_buf = self._ensure_buf("_analyze_buf", 2 * num_vars + 4)
+            lim_buf = self._ensure_buf(
+                "_lim_buf", num_vars + n_assumptions + 2
+            )
+            for index, bound in enumerate(self._trail_lim):
+                lim_buf[index] = bound
+            order = self._order
+            order.grow_to(num_vars)
+            state[_S_QHEAD] = self._qhead
+            state[_S_TRAIL_LEN] = self._trail_len
+            state[_S_LEVELS] = len(self._trail_lim)
+            state[_S_PROPAGATIONS] = 0
+            state[_S_ARENA_LEN] = self._arena_len
+            state[_S_ARENA_CAP] = len(arena)
+            state[_S_HEAP_SIZE] = order.size
+            state[_S_NUM_VARS] = num_vars
+            state[_S_NUM_ASSUMPTIONS] = n_assumptions
+            state[_S_LEARNT_COUNT] = len(self._learnts)
+            state[_S_MAX_LEARNTS] = max_learnts
+            state[_S_RESTART_INDEX] = restart_index
+            state[_S_CONFLICT_BUDGET] = conflict_budget
+            state[_S_CONFLICTS_SINCE_RESTART] = conflicts_since_restart
+            state[_S_TOTAL_CONFLICTS] = total_conflicts
+            state[_S_MAX_CONFLICTS] = (
+                -1 if self.max_conflicts is None else self.max_conflicts
+            )
+            state[_S_FREE_DECISIONS] = free_decisions
+            state[_S_MAX_DECISIONS] = (
+                -1 if self.max_decisions is None else self.max_decisions
+            )
+            state[_S_SEARCH_FLOOR] = self._search_floor
+            state[_S_EXIT_REASON] = 0
+            state[_S_EXIT_PAYLOAD] = 0
+            for index in range(_S_D_CONFLICTS, _S_D_BACKJUMPED + 1):
+                state[index] = 0
+            state[_S_SCRATCH_LEN] = 0
+            state[_S_SCRATCH_CAP] = len(scratch)
+            state[_S_LOG_LEN] = 0
+            state[_S_LOG_CAP] = len(bump_log)
+            floats[0] = self._var_inc
+            floats[1] = self._var_decay
+            self._csearch(
+                arena.buffer_info()[0],
+                self._heads.buffer_info()[0],
+                self._assigns.buffer_info()[0],
+                self._level.buffer_info()[0],
+                self._reason.buffer_info()[0],
+                self._trail.buffer_info()[0],
+                lim_buf.buffer_info()[0],
+                self._polarity.buffer_info()[0],
+                self._seen.buffer_info()[0],
+                self._activity.buffer_info()[0],
+                order.heap_buffer().buffer_info()[0],
+                order.positions_buffer().buffer_info()[0],
+                assump_buf.buffer_info()[0],
+                scratch.buffer_info()[0],
+                bump_log.buffer_info()[0],
+                analyze_buf.buffer_info()[0],
+                state.buffer_info()[0],
+                floats.buffer_info()[0],
+            )
+            # Marshal the kernel's bookkeeping back out.
+            self._qhead = state[_S_QHEAD]
+            self._trail_len = state[_S_TRAIL_LEN]
+            self._trail_lim = list(lim_buf[: state[_S_LEVELS]])
+            stats.propagations += state[_S_PROPAGATIONS]
+            self._arena_len = state[_S_ARENA_LEN]
+            order.set_size(state[_S_HEAP_SIZE])
+            restart_index = state[_S_RESTART_INDEX]
+            conflict_budget = state[_S_CONFLICT_BUDGET]
+            conflicts_since_restart = state[_S_CONFLICTS_SINCE_RESTART]
+            total_conflicts = state[_S_TOTAL_CONFLICTS]
+            free_decisions = state[_S_FREE_DECISIONS]
+            self._search_floor = state[_S_SEARCH_FLOOR]
+            stats.conflicts += state[_S_D_CONFLICTS]
+            stats.decisions += state[_S_D_DECISIONS]
+            stats.restarts += state[_S_D_RESTARTS]
+            stats.learnt_clauses += state[_S_D_LEARNTS]
+            stats.analyses += state[_S_D_ANALYSES]
+            stats.minimized_literals += state[_S_D_MINIMIZED]
+            stats.backjumped_levels += state[_S_D_BACKJUMPED]
+            self._var_inc = floats[0]
+            learnts = self._learnts
+            for index in range(state[_S_SCRATCH_LEN]):
+                learnts.append(scratch[index])
+            for index in range(state[_S_LOG_LEN]):
+                entry = bump_log[index]
+                if entry:
+                    self._clause_bump(entry)
+                else:
+                    self._cla_inc /= self._cla_decay
+            reason = state[_S_EXIT_REASON]
+            if reason == _EXIT_SAT:
+                self._model = list(self._assigns)
+                return True
+            if reason == _EXIT_UNSAT:
+                self._ok = False
+                self._core = []
+                return False
+            if reason == _EXIT_ASSUMPTION:
+                self._core = self._analyze_final(state[_S_EXIT_PAYLOAD])
+                return False
+            if reason == _EXIT_REDUCE:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+            elif reason == _EXIT_CONFLICT_BUDGET:
+                self._core = []
+                self._cancel_until(0)
+                raise ConflictBudgetExceeded(
+                    f"exceeded conflict budget of {self.max_conflicts}"
+                )
+            elif reason == _EXIT_DECISION_BUDGET:
+                self._cancel_to_root()
+                raise DecisionBudgetExceeded(
+                    f"exceeded decision budget of {self.max_decisions}"
+                )
+            elif reason != _EXIT_CAPACITY:  # pragma: no cover
+                raise RuntimeError(f"C search kernel returned bad exit {reason}")
+            # _EXIT_REDUCE and _EXIT_CAPACITY re-enter: the next iteration
+            # re-provisions capacity and resumes at the loop top, where an
+            # empty propagation queue makes re-entry a no-op.
 
 
 class ConflictBudgetExceeded(RuntimeError):

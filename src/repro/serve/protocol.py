@@ -175,13 +175,14 @@ def report_to_wire(report: LocalizationReport) -> dict:
         "maxsat_calls": report.maxsat_calls,
         "sat_calls": report.sat_calls,
         "propagations": report.propagations,
+        "conflicts": report.conflicts,
         "time_seconds": report.time_seconds,
     }
 
 
 #: Wire fields that depend on *how hard* the solver worked rather than on
 #: what the localization means; excluded from the canonical identity.
-EFFORT_FIELDS = ("sat_calls", "propagations", "time_seconds")
+EFFORT_FIELDS = ("sat_calls", "propagations", "conflicts", "time_seconds")
 
 
 def canonical_report_wire(report_wire: Mapping[str, Any]) -> dict:

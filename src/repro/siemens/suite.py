@@ -207,6 +207,9 @@ class LargeBenchmarkResult:
     #: Solver propagations per wall-clock second over the whole row — the
     #: throughput the C-accelerated core (or the pure-Python fallback) hit.
     propagations_per_second: float = 0.0
+    #: Solver conflicts analyzed per wall-clock second over the whole row —
+    #: the search-kernel (conflict analysis + backjump + VSIDS) throughput.
+    conflicts_per_second: float = 0.0
     #: Gate-cache hits while encoding the reduced trace (structure sharing).
     gates_shared: int = 0
     #: Circuit simplifier configuration used by the encoder.
@@ -271,4 +274,5 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     result.simplifier = reduced.simplifier
     if result.time_seconds > 0:
         result.propagations_per_second = report.propagations / result.time_seconds
+        result.conflicts_per_second = report.conflicts / result.time_seconds
     return result

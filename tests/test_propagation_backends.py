@@ -294,11 +294,16 @@ class TestArenaHousekeeping:
     def test_pop_frees_layer_clauses(self):
         solver = Solver(backend="python")
         solver.add_clause([1, 2])
-        before = len(solver._arena)
-        solver.push()
+        solver.push()  # allocates the layer's selector (variable 3)
+        # Stay clear of the selector variable so the clauses really attach
+        # (a clause mentioning it would be dropped as a tautology).
         for _ in range(5):
-            solver.add_clause([3, 4, 5])
+            solver.add_clause([4, 5, 6])
+        added = solver._arena_len
         assert solver.solve()
         solver.pop()
-        assert solver._garbage > 0 or len(solver._arena) == before
+        # The popped layer's clauses are dead arena spans now (compaction
+        # compares against the *logical* length, which physical slack for
+        # the C kernel may exceed).
+        assert solver._garbage > 0 or solver._arena_len < added
         assert solver.solve()
