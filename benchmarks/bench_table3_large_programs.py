@@ -14,8 +14,10 @@ the C propagation core or the pure-Python fallback ran),
 ``conflicts_per_second`` (search-kernel throughput: conflict analysis,
 backjumping and VSIDS maintenance), ``gates_shared`` (how many gates the
 structure-hashed circuit cache deduplicated while encoding) and
-``simplifier`` (the encoder configuration), plus the active
-``propagation_backend`` and ``analysis_backend`` per row.
+``simplifier`` (the encoder configuration), ``clauses_pruned`` /
+``narrowed_vars`` (what the interval-analysis bit narrowing removed from
+the reduced trace), plus the active ``propagation_backend`` and
+``analysis_backend`` per row.
 """
 
 from __future__ import annotations
@@ -92,6 +94,8 @@ def _write_bench_json() -> None:
             "conflicts_per_second": round(row.conflicts_per_second),
             "gates_shared": row.gates_shared,
             "simplifier": row.simplifier,
+            "clauses_pruned": row.clauses_pruned,
+            "narrowed_vars": row.narrowed_vars,
             "propagation_backend": propagation_backend(),
             "analysis_backend": search_backend(),
         }

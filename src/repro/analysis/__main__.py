@@ -1,0 +1,73 @@
+"""``python -m repro.analysis`` — the mini-C linter.
+
+Runs the abstract-interpretation pass over one or more source files and
+prints structured diagnostics, one per line, in the familiar
+``file:line: severity: [code] message`` shape.  Exit status 1 when any
+file produced an ERROR-severity diagnostic (parse error, type error,
+constant division by zero, always-out-of-bounds index), 0 otherwise —
+warnings do not fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.analyzer import analyze_source
+from repro.lang.diagnostics import diagnostics_to_wire
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint mini-C programs with the abstract-interpretation pass.",
+    )
+    parser.add_argument("files", nargs="+", help="mini-C source files")
+    parser.add_argument(
+        "--entry", default="main", help="entry function (default: main)"
+    )
+    parser.add_argument(
+        "--width", type=int, default=16, help="bit width (default: 16)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per file instead of text diagnostics",
+    )
+    args = parser.parse_args(argv)
+
+    any_errors = False
+    payloads = []
+    for path_text in args.files:
+        path = Path(path_text)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            any_errors = True
+            continue
+        result = analyze_source(
+            source, name=path.name, entry=args.entry, width=args.width
+        )
+        if result.has_errors:
+            any_errors = True
+        if args.json:
+            payloads.append(
+                {
+                    "file": str(path),
+                    "ok": not result.has_errors,
+                    "diagnostics": diagnostics_to_wire(result.diagnostics),
+                }
+            )
+        else:
+            for diagnostic in result.diagnostics:
+                print(diagnostic.render(str(path)))
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+    return 1 if any_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""The worklist dataflow solver over ``repro.cfg`` function graphs.
+
+Generic over an abstract domain: the solver owns iteration order (reverse
+postorder), convergence detection, widening at loop heads and the optional
+descending ("narrowing") passes that recover precision lost to widening.
+Domains own states and transfer functions.  Unreachable nodes simply never
+receive a state — their absence from the result is what the diagnostics
+engine reports as dead code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional, Protocol
+
+from repro.cfg.graph import Edge, FunctionGraph, Node
+
+#: Loop-head visits before widening kicks in (a little precision for the
+#: first trips around the loop, guaranteed convergence afterwards).
+WIDEN_AFTER = 2
+
+
+class Domain(Protocol):
+    """What the solver needs from an abstract domain."""
+
+    def entry_state(self) -> Any:
+        """State at the function entry."""
+
+    def transfer(self, node: Node, state: Any) -> Optional[Any]:
+        """State after the node's statement; ``None`` if execution cannot
+        continue past it (e.g. a provably failing assumption)."""
+
+    def refine_edge(self, edge: Edge, state: Any) -> Optional[Any]:
+        """State along an outgoing edge; ``None`` when the edge is provably
+        infeasible (branch refinement)."""
+
+    def join(self, a: Any, b: Any) -> Any: ...
+
+    def widen(self, a: Any, b: Any) -> Any: ...
+
+    def equal(self, a: Any, b: Any) -> bool: ...
+
+
+def solve(
+    graph: FunctionGraph, domain: Domain, descend_rounds: int = 1
+) -> dict[int, Any]:
+    """Run the worklist iteration to a fixpoint.
+
+    Returns the map from node index to its *input* state; nodes that never
+    became reachable are absent.  ``descend_rounds`` extra reverse-postorder
+    sweeps without widening tighten the loop-head states afterwards (the
+    classic widen-then-narrow schedule).
+    """
+    order = graph.reverse_postorder()
+    position = {node: rank for rank, node in enumerate(order)}
+    states: dict[int, Any] = {graph.entry: domain.entry_state()}
+    visits: dict[int, int] = {}
+
+    queue: list[tuple[int, int]] = [(position[graph.entry], graph.entry)]
+    queued = {graph.entry}
+    while queue:
+        _, node_index = heapq.heappop(queue)
+        queued.discard(node_index)
+        in_state = states.get(node_index)
+        if in_state is None:
+            continue
+        out_state = domain.transfer(graph.nodes[node_index], in_state)
+        if out_state is None:
+            continue
+        for edge in graph.successors(node_index):
+            edge_state = domain.refine_edge(edge, out_state)
+            if edge_state is None:
+                continue
+            target = edge.target
+            old = states.get(target)
+            if old is None:
+                new = edge_state
+            else:
+                new = domain.join(old, edge_state)
+                if graph.nodes[target].is_loop_head:
+                    visits[target] = visits.get(target, 0) + 1
+                    if visits[target] > WIDEN_AFTER:
+                        new = domain.widen(old, new)
+                if domain.equal(old, new):
+                    continue
+            states[target] = new
+            if target not in queued and target in position:
+                queued.add(target)
+                heapq.heappush(queue, (position[target], target))
+
+    for _ in range(descend_rounds):
+        changed = False
+        for node_index in order:
+            if node_index == graph.entry:
+                continue
+            incoming = None
+            for edge in graph.predecessors(node_index):
+                source_state = states.get(edge.source)
+                if source_state is None:
+                    continue
+                out_state = domain.transfer(graph.nodes[edge.source], source_state)
+                if out_state is None:
+                    continue
+                edge_state = domain.refine_edge(edge, out_state)
+                if edge_state is None:
+                    continue
+                incoming = edge_state if incoming is None else domain.join(incoming, edge_state)
+            if incoming is None:
+                continue
+            old = states.get(node_index)
+            # Descending iteration: only ever replace with a state at least
+            # as precise — the meet with the ascending fixpoint is implied
+            # because transfer functions are monotone.
+            if old is None or not domain.equal(old, incoming):
+                states[node_index] = incoming
+                changed = True
+        if not changed:
+            break
+    return states

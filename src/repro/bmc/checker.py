@@ -71,6 +71,7 @@ class BoundedModelChecker:
         group_statements: bool = False,
         hard_functions: Iterable[str] = (),
         simplify: bool = True,
+        analysis_narrowing: bool = True,
     ) -> None:
         """Configure the checker.
 
@@ -78,7 +79,11 @@ class BoundedModelChecker:
         into a per-line clause group (needed for localization); functions in
         ``hard_functions`` keep their clauses hard (library code that is not
         a candidate bug location).  ``simplify`` toggles the structure-hashed
-        gate cache of the circuit builder.
+        gate cache of the circuit builder.  ``analysis_narrowing`` lets the
+        abstract-interpretation pass (:mod:`repro.analysis`) narrow the
+        bit-width of written values whose range is statically bounded; the
+        flow-insensitive table is used, which stays sound under the guarded
+        encoding (off-path rhs values are covered by the variable domains).
         """
         self.program = program
         self.width = width
@@ -87,6 +92,7 @@ class BoundedModelChecker:
         self.group_statements = group_statements
         self.hard_functions = set(hard_functions)
         self.simplify = simplify
+        self.analysis_narrowing = analysis_narrowing
 
     # ------------------------------------------------------------------ API
 
@@ -136,6 +142,8 @@ class BoundedModelChecker:
         input_bits, return_bits = self._encode(entry)
         context = self._context
         function = self.program.function(entry)
+        analysis = self._analysis_for(entry)
+        diagnostics = analysis.diagnostics if analysis is not None else ()
         return CompiledProgram(
             program_name=self.program.name,
             entry=entry,
@@ -154,6 +162,9 @@ class BoundedModelChecker:
             gates_shared=context.gate_hits,
             simplifier=simplifier_name(self.simplify),
             signature=context.gate_signature,
+            diagnostics=diagnostics,
+            pruned_lines=self._pruned_lines(),
+            narrowed_vars=self._narrowed_vars,
         )
 
     def encode_program_formula(
@@ -221,6 +232,52 @@ class BoundedModelChecker:
 
     # --------------------------------------------------------------- running
 
+    def _analysis_for(self, entry: str):
+        """The cached abstract-interpretation result (or ``None`` when the
+        pass fails — analysis is an accelerator, never a prerequisite)."""
+        cache = getattr(self, "_analysis_cache", None)
+        if cache is None:
+            cache = self._analysis_cache = {}
+        if entry not in cache:
+            try:
+                from repro.analysis import analyze_program
+
+                cache[entry] = analyze_program(
+                    self.program, entry=entry, width=self.width
+                )
+            except Exception:  # pragma: no cover - defensive
+                cache[entry] = None
+        return cache[entry]
+
+    def _pruned_lines(self) -> tuple[int, ...]:
+        """Statement lines provably irrelevant to every assertion/output.
+
+        Computed from the flow-insensitive backward slice; the slicer's
+        seeds are tied to ``main``, so pruning only applies there.
+        """
+        if "main" not in self.program.functions:
+            return ()
+        try:
+            from repro.cfg.defuse import backward_slice_lines
+
+            relevant = backward_slice_lines(self.program)
+        except Exception:  # pragma: no cover - defensive
+            return ()
+        return tuple(sorted(self.program.statement_lines() - relevant))
+
+    def _fresh_written(self, line: int) -> Bits:
+        """A fresh vector for a written value — narrowed to the statically
+        proven (flow-insensitive) range when the analysis found one."""
+        builder = self._builder
+        interval = self._write_intervals.get((self._frames[-1].function, line))
+        if interval is not None:
+            plan = interval.narrowing_plan(self.width)
+            if plan is not None:
+                low_bits, signed = plan
+                self._narrowed_vars += self.width - low_bits
+                return builder.fresh_narrowed(low_bits, signed)
+        return builder.fresh()
+
     def _encode(self, entry: str) -> tuple[dict[str, Bits], Optional[Bits]]:
         """Encode the whole program; returns (input bit-vectors, return bits)."""
         self._context = EncodingContext(self.width)
@@ -231,6 +288,12 @@ class BoundedModelChecker:
         self._frames: list[_Frame] = []
         self._globals: dict[str, object] = {}
         self._steps: list[TraceStep] = []
+        self._narrowed_vars = 0
+        self._write_intervals: dict[tuple[str, int], object] = {}
+        if self.analysis_narrowing:
+            analysis = self._analysis_for(entry)
+            if analysis is not None and not analysis.has_errors:
+                self._write_intervals = analysis.flow_write_intervals
 
         builder = self._builder
         self._current_guard = builder.true
@@ -315,7 +378,7 @@ class BoundedModelChecker:
                     if stmt.init is not None
                     else builder.const(0)
                 )
-                written = builder.fresh()
+                written = self._fresh_written(stmt.line)
                 builder.assert_equal(written, init)
             previous = frame.variables.get(stmt.name, builder.const(0))
             if not isinstance(previous, tuple):
@@ -332,7 +395,7 @@ class BoundedModelChecker:
                         value = self._encoder.encode(stmt.init[index])
                     else:
                         value = builder.const(0)
-                    written = builder.fresh()
+                    written = self._fresh_written(stmt.line)
                     builder.assert_equal(written, value)
                     cells.append(written)
             frame.variables[stmt.name] = cells
@@ -340,7 +403,7 @@ class BoundedModelChecker:
         elif isinstance(stmt, ast.Assign):
             with self._context.group(group):
                 value = self._encoder.encode(stmt.value)
-                written = builder.fresh()
+                written = self._fresh_written(stmt.line)
                 builder.assert_equal(written, value)
             self._assign_scalar(stmt.name, written, guard)
             self._record(stmt, "assign")
@@ -446,7 +509,7 @@ class BoundedModelChecker:
             value_raw = self._encoder.encode(stmt.value)
             index_bits = builder.fresh()
             builder.assert_equal(index_bits, index_raw)
-            value_bits = builder.fresh()
+            value_bits = self._fresh_written(stmt.line)
             builder.assert_equal(value_bits, value_raw)
         cells = self.read_array(stmt.name, stmt.line)
         new_cells: list[Bits] = []

@@ -37,7 +37,7 @@ Bits = tuple[int, ...]
 #: :class:`~repro.encoding.context.StatementGroup`) change incompatibly, so a
 #: content-addressed store never deserializes a stale on-disk spill into a
 #: newer process — it recompiles instead.
-ARTIFACT_FORMAT_VERSION = 1
+ARTIFACT_FORMAT_VERSION = 2
 
 #: Magic prefix of a serialized artifact (sanity check before unpickling).
 _ARTIFACT_MAGIC = b"repro-artifact\x00"
@@ -154,6 +154,15 @@ class CompiledProgram:
     simplifier: str = ""
     #: Structural gate-cache signature (keys cross-test core archives).
     signature: str = ""
+    #: Static-analysis lint findings for the compiled program, as
+    #: :class:`~repro.lang.diagnostics.Diagnostic` records.
+    diagnostics: tuple = ()
+    #: Statement lines outside the backward slice of any assertion: their
+    #: writes provably cannot reach a checked variable, so localization
+    #: keeps their clause groups hard (never a fault candidate).
+    pruned_lines: tuple[int, ...] = ()
+    #: Bits eliminated by analysis-guided range narrowing during compile.
+    narrowed_vars: int = 0
 
     # ------------------------------------------------------------ statistics
 
@@ -317,6 +326,7 @@ class CompiledProgram:
             gates_shared=self.gates_shared,
             simplifier=self.simplifier,
             signature=self.signature,
+            narrowed_vars=self.narrowed_vars,
         )
 
     def base_formula(self) -> TraceFormula:
@@ -337,4 +347,5 @@ class CompiledProgram:
             gates_shared=self.gates_shared,
             simplifier=self.simplifier,
             signature=self.signature,
+            narrowed_vars=self.narrowed_vars,
         )

@@ -1,10 +1,11 @@
-"""Program-dependence utilities: def/use sets, call graph, static slicing.
+"""Program-dependence utilities: CFGs, def/use sets, call graph, slicing.
 
 The paper models a program as a transition system (X, L, l0, T); for trace
 reduction it relies on program slicing.  This package provides the static
-dependence information the slicer in :mod:`repro.reduction` needs:
-per-statement defined/used variable sets, the call graph, and a
-flow-insensitive backward slice at line granularity.
+dependence information the slicer in :mod:`repro.reduction` and the
+abstract interpreter in :mod:`repro.analysis` need: a statement-level
+control-flow graph per function, per-statement defined/used variable sets,
+the call graph, and a flow-insensitive backward slice at line granularity.
 """
 
 from repro.cfg.defuse import (
@@ -14,6 +15,13 @@ from repro.cfg.defuse import (
     call_graph,
     backward_slice_lines,
 )
+from repro.cfg.graph import (
+    Edge,
+    FunctionGraph,
+    Node,
+    build_function_graph,
+    build_program_graphs,
+)
 
 __all__ = [
     "statement_defs",
@@ -21,4 +29,9 @@ __all__ = [
     "called_functions",
     "call_graph",
     "backward_slice_lines",
+    "Edge",
+    "FunctionGraph",
+    "Node",
+    "build_function_graph",
+    "build_program_graphs",
 ]

@@ -66,6 +66,7 @@ class ConcolicTracer:
         hard_functions: Iterable[str] = (),
         relevant_lines: Optional[Iterable[int]] = None,
         simplify: bool = True,
+        analysis_narrowing: bool = True,
     ) -> None:
         """Create a tracer.
 
@@ -80,6 +81,10 @@ class ConcolicTracer:
         the slice are executed concretely and contribute no clauses.
         ``simplify`` toggles the structure-hashed gate cache and the
         constant-aware arithmetic rewrites of the circuit builder.
+        ``analysis_narrowing`` lets the abstract-interpretation pass narrow
+        the bit-width of written values: statements whose value provably
+        fits ``k < width`` bits get fresh vectors with the high bits pinned,
+        which the circuit simplifier then folds through downstream uses.
         """
         self.program = program
         self.width = width
@@ -89,6 +94,7 @@ class ConcolicTracer:
         self.loop_iteration_groups = loop_iteration_groups
         self.relevant_lines = set(relevant_lines) if relevant_lines is not None else None
         self.simplify = simplify
+        self.analysis_narrowing = analysis_narrowing
 
     # ------------------------------------------------------------------ API
 
@@ -121,6 +127,24 @@ class ConcolicTracer:
 
         function = self.program.function(entry)
         arguments = self._bind_inputs(function, inputs)
+        self._write_intervals = None
+        self._narrowed_vars = 0
+        if self.analysis_narrowing:
+            try:
+                from repro.analysis import analyze_program
+
+                analysis = analyze_program(
+                    self.program,
+                    entry=entry,
+                    entry_inputs=arguments,
+                    width=self.width,
+                )
+                if not analysis.has_errors:
+                    self._write_intervals = analysis.write_intervals
+            except Exception:
+                # Narrowing is an optimization; a program the analyzer cannot
+                # handle falls back to the full-width encoding.
+                self._write_intervals = None
         self._globals = self._initialize_globals()
         frame = _Frame(function=entry)
         for name, value in arguments.items():
@@ -182,6 +206,7 @@ class ConcolicTracer:
             test_inputs=self._test_inputs,
             assertion_description=description,
             simplifier=simplifier_name(self.simplify),
+            narrowed_vars=self._narrowed_vars,
         )
 
     # ----------------------------------------------------- resolver protocol
@@ -385,6 +410,29 @@ class ConcolicTracer:
 
     # ----------------------------------------------------------- statements
 
+    def _fresh_for_write(self, line: int) -> Bits:
+        """A fresh vector for the value a statement writes — narrowed to the
+        statically proven range when the analysis found one."""
+        if self._write_intervals is not None:
+            interval = self._write_intervals.get((self._current_function, line))
+            if interval is not None:
+                plan = interval.narrowing_plan(self.width)
+                if plan is not None:
+                    low_bits, signed = plan
+                    self._narrowed_vars += self.width - low_bits
+                    return self._builder.fresh_narrowed(low_bits, signed)
+        return self._builder.fresh()
+
+    def _check_write(self, line: int, concrete: int) -> None:
+        """Soundness tripwire: the concrete value a narrowed statement writes
+        must lie inside the interval the narrowing was derived from."""
+        if __debug__ and self._write_intervals is not None:
+            interval = self._write_intervals.get((self._current_function, line))
+            assert interval is None or interval.contains(concrete), (
+                f"analysis interval {interval} at {self._current_function}:"
+                f"{line} does not contain traced value {concrete}"
+            )
+
     def _exec_assign_like(
         self, stmt: ast.Stmt, name: str, value: Optional[ast.Expr], kind: str
     ) -> None:
@@ -394,9 +442,10 @@ class ConcolicTracer:
                 rhs_bits = self._encoder.encode(value)
             else:
                 rhs_bits = self._builder.const(0)
-            fresh = self._builder.fresh()
+            fresh = self._fresh_for_write(stmt.line)
             self._builder.assert_equal(fresh, rhs_bits)
         concrete = self._concrete_eval(value) if value is not None else 0
+        self._check_write(stmt.line, concrete)
         self._store(name, concrete, fresh, declare=kind == "decl")
         self._record(stmt, kind, f"{name} = ...")
 
@@ -410,7 +459,7 @@ class ConcolicTracer:
                     rhs_bits = self._encoder.encode(stmt.init[index])
                 else:
                     rhs_bits = self._builder.const(0)
-                fresh = self._builder.fresh()
+                fresh = self._fresh_for_write(stmt.line)
                 self._builder.assert_equal(fresh, rhs_bits)
                 symbolic_cells.append(fresh)
         for index in range(min(stmt.size, len(stmt.init))):
@@ -433,7 +482,7 @@ class ConcolicTracer:
                 else:
                     is_here = self._builder.equals(index_bits, self._builder.const(position))
                     chosen = self._builder.mux(is_here, value_bits, cell)
-                fresh = self._builder.fresh()
+                fresh = self._fresh_for_write(stmt.line)
                 self._builder.assert_equal(fresh, chosen)
                 new_cells.append(fresh)
         concrete_index = self._concrete_eval(stmt.index)

@@ -119,6 +119,8 @@ class LocalizationSession:
         hard_functions: Iterable[str] = (),
         hard_lines: Iterable[int] = (),
         warm_start: bool = True,
+        analysis_narrowing: bool = True,
+        static_pruning: bool = True,
     ) -> None:
         self.program = program
         self.width = width
@@ -129,6 +131,8 @@ class LocalizationSession:
         self.hard_functions = tuple(hard_functions)
         self.hard_lines = set(hard_lines)
         self.warm_start = warm_start
+        self.analysis_narrowing = analysis_narrowing
+        self.static_pruning = static_pruning
         self.stats = SessionStats()
         #: Solver-effort profile of the most recent :meth:`localize` call
         #: (the innermost engine layer's deltas), for per-request reporting.
@@ -187,6 +191,7 @@ class LocalizationSession:
         max_candidates: int = 25,
         hard_lines: Iterable[int] = (),
         warm_start: bool = True,
+        static_pruning: bool = True,
     ) -> "LocalizationSession":
         """Adopt an existing compiled artifact (process-pool workers do this).
 
@@ -202,6 +207,8 @@ class LocalizationSession:
         session.hard_functions = ()
         session.hard_lines = set(hard_lines)
         session.warm_start = warm_start
+        session.analysis_narrowing = True
+        session.static_pruning = static_pruning
         session.stats = SessionStats()
         session.last_request_profile = {}
         session._compiled = compiled
@@ -222,6 +229,7 @@ class LocalizationSession:
                 unwind=self.unwind,
                 group_statements=True,
                 hard_functions=self.hard_functions,
+                analysis_narrowing=self.analysis_narrowing,
             )
             self._compiled = checker.compile_program(entry=self.entry)
             self.stats.encodings_built += 1
@@ -231,8 +239,15 @@ class LocalizationSession:
         if self._closed:
             raise RuntimeError("session is closed")
         if self._engine is None:
+            # Static soft-clause pruning: statement lines outside the
+            # backward slice of every assertion/output stay hard — their
+            # writes provably cannot explain the failure, so they are never
+            # offered to MaxSAT as fault candidates.
+            hard_groups = set(self.hard_lines)
+            if self.static_pruning:
+                hard_groups.update(self.compiled.pruned_lines)
             wcnf, _ = self.compiled.base_formula().to_wcnf(
-                hard_groups=self.hard_lines or None
+                hard_groups=hard_groups or None
             )
             engine = make_engine(self.strategy)
             engine.load(wcnf)
@@ -366,6 +381,7 @@ class LocalizationSession:
             self.max_candidates,
             tuple(self.hard_lines),
             self.warm_start,
+            self.static_pruning,
         )
         reports: list[Optional[LocalizationReport]] = [None] * len(tests)
         failed: list[tuple[list[tuple[int, FailingTest]], BaseException]] = []
@@ -421,13 +437,14 @@ _WORKER_SESSION: Optional[LocalizationSession] = None
 
 def _pool_initializer(payload) -> None:
     global _WORKER_SESSION
-    compiled, strategy, max_candidates, hard_lines, warm_start = payload
+    compiled, strategy, max_candidates, hard_lines, warm_start, static_pruning = payload
     _WORKER_SESSION = LocalizationSession.from_compiled(
         compiled,
         strategy=strategy,
         max_candidates=max_candidates,
         hard_lines=hard_lines,
         warm_start=warm_start,
+        static_pruning=static_pruning,
     )
 
 

@@ -342,6 +342,25 @@ class CircuitBuilder:
         width = width or self.width
         return tuple(self.context.new_var() for _ in range(width))
 
+    def fresh_narrowed(
+        self, low_bits: int, signed: bool, width: Optional[int] = None
+    ) -> Bits:
+        """A fresh vector with only ``low_bits`` free variables.
+
+        The high bits are pinned: constant false for an unsigned narrowing
+        (the vector ranges over ``[0, 2**low_bits - 1]``) or a replica of
+        the top free bit for a signed one (plain sign extension, ranging
+        over ``[-2**(low_bits-1), 2**(low_bits-1) - 1]``).  Downstream
+        circuitry then constant-folds or gate-shares away the work the
+        pinned bits would have cost.
+        """
+        width = width or self.width
+        if low_bits >= width:
+            return self.fresh(width)
+        low = tuple(self.context.new_var() for _ in range(low_bits))
+        high_bit = low[-1] if signed else self.false
+        return low + (high_bit,) * (width - low_bits)
+
     def constant_of(self, bits: Bits) -> Optional[int]:
         """If every bit is constant, return the signed integer value."""
         pattern = 0
@@ -517,7 +536,16 @@ class CircuitBuilder:
         """Emit clauses forcing ``target == source`` (in the active group)."""
         for target_bit, source_bit in zip(target, source):
             value = self._const_value(source_bit)
-            if value is True:
+            target_value = self._const_value(target_bit)
+            if target_value is not None:
+                # Narrowed targets carry constant high bits: the equation
+                # degenerates to a unit on the source (or a contradiction
+                # when both sides are constants that disagree).
+                if value is None:
+                    self.context.emit([source_bit if target_value else -source_bit])
+                elif value != target_value:
+                    self.context.emit([self.false])
+            elif value is True:
                 self.context.emit([target_bit])
             elif value is False:
                 self.context.emit([-target_bit])

@@ -50,6 +50,9 @@ class TraceFormula:
     simplifier: str = ""
     #: Structural signature of the gate cache (keys cross-test core reuse).
     signature: str = ""
+    #: Bits eliminated by analysis-guided range narrowing (0 = narrowing off
+    #: or nothing provable).
+    narrowed_vars: int = 0
 
     # ------------------------------------------------------------ statistics
 
@@ -76,6 +79,7 @@ class TraceFormula:
         test_inputs: dict[str, int],
         assertion_description: str = "",
         simplifier: str = "",
+        narrowed_vars: int = 0,
     ) -> "TraceFormula":
         return cls(
             width=context.width,
@@ -88,6 +92,7 @@ class TraceFormula:
             gates_shared=context.gate_hits,
             simplifier=simplifier,
             signature=context.gate_signature,
+            narrowed_vars=narrowed_vars,
         )
 
     # ------------------------------------------------------------ conversion

@@ -16,12 +16,15 @@ AST node classes in :mod:`repro.lang.ast`.
 """
 
 from repro.lang.parser import parse_program, ParseError
+from repro.lang.diagnostics import Diagnostic, has_errors
 from repro.lang.typecheck import check_program, TypeError_ as TypeCheckError
 from repro.lang.interp import Interpreter, ExecutionResult, AssertionFailure, RuntimeBudgetExceeded
 
 __all__ = [
     "parse_program",
     "ParseError",
+    "Diagnostic",
+    "has_errors",
     "check_program",
     "TypeCheckError",
     "Interpreter",

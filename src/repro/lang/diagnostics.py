@@ -1,0 +1,74 @@
+"""The structured diagnostic type shared by the front end and the analyzer.
+
+Every static complaint about a program — a parse error, a type error, or a
+finding of the abstract-interpretation pass (`repro.analysis`) — is carried
+as one :class:`Diagnostic`: a stable machine-readable ``code``, a severity
+(``error`` rejects the program in the serving pipeline, ``warning`` merely
+annotates the compiled artifact), the source line, the enclosing function
+and a human-readable message.  Keeping the type here, below both ``lang``
+and ``analysis``, lets the type checker and the dataflow analyzer report
+through one shape without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+#: Diagnostics with this severity make a program unservable: the daemon
+#: answers ``compile`` with a structured error instead of an artifact.
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One structured finding about a program, anchored to a source line."""
+
+    line: int
+    severity: str
+    code: str
+    message: str
+    function: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown diagnostic severity {self.severity!r}")
+
+    def render(self, name: str = "<program>") -> str:
+        """The one-line human form used by ``python -m repro.analysis``."""
+        where = f"{name}:{self.line}"
+        scope = f" in {self.function}()" if self.function else ""
+        return f"{where}: {self.severity}: [{self.code}] {self.message}{scope}"
+
+    # --------------------------------------------------------------- codecs
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+        }
+
+    @classmethod
+    def from_wire(cls, value: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            line=int(value.get("line", 0)),
+            severity=str(value.get("severity", ERROR)),
+            code=str(value.get("code", "unknown")),
+            message=str(value.get("message", "")),
+            function=str(value.get("function", "")),
+        )
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any diagnostic is severe enough to reject the program."""
+    return any(diag.severity == ERROR for diag in diagnostics)
+
+
+def diagnostics_to_wire(diagnostics: Iterable[Diagnostic]) -> list[dict[str, Any]]:
+    return [diag.to_wire() for diag in diagnostics]

@@ -12,6 +12,15 @@ class ParseError(ValueError):
     def __init__(self, message: str, line: int) -> None:
         super().__init__(f"line {line}: {message}")
         self.line = line
+        self.bare_message = message
+
+    def to_diagnostic(self):
+        """Structured form (same shape as type and analysis diagnostics)."""
+        from repro.lang.diagnostics import ERROR, Diagnostic
+
+        return Diagnostic(
+            line=self.line, severity=ERROR, code="parse-error", message=self.bare_message
+        )
 
 
 def parse_program(source: str, name: str = "<program>") -> ast.Program:

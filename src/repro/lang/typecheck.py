@@ -10,6 +10,7 @@ deep inside the encoder.
 from __future__ import annotations
 
 from repro.lang import ast
+from repro.lang.diagnostics import ERROR, Diagnostic
 
 BUILTIN_FUNCTIONS = {"nondet": 0}
 
@@ -20,6 +21,16 @@ class TypeError_(ValueError):
     def __init__(self, message: str, line: int) -> None:
         super().__init__(f"line {line}: {message}")
         self.line = line
+        self.bare_message = message
+
+    def to_diagnostic(self) -> Diagnostic:
+        """The structured form: type errors flow through the same
+        :class:`~repro.lang.diagnostics.Diagnostic` shape as the
+        ``repro.analysis`` findings, so the CLI and the serving pipeline
+        render front-end and dataflow complaints identically."""
+        return Diagnostic(
+            line=self.line, severity=ERROR, code="type-error", message=self.bare_message
+        )
 
 
 def check_program(program: ast.Program) -> None:

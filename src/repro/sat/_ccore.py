@@ -97,6 +97,45 @@ def _find_compiler() -> Optional[str]:
     return None
 
 
+#: Sanitizers accepted in ``REPRO_SAT_SANITIZE`` (comma-separated) and the
+#: cflags each one adds.  ``-fno-sanitize-recover=all`` turns any finding
+#: into an abort, so a sanitizer CI job fails loudly instead of logging.
+_SANITIZERS = {
+    "asan": ("-fsanitize=address",),
+    "ubsan": ("-fsanitize=undefined",),
+}
+
+
+def sanitize_flags() -> tuple[str, ...]:
+    """Extra compile flags from ``REPRO_SAT_SANITIZE`` (empty = plain build).
+
+    ``REPRO_SAT_SANITIZE=asan,ubsan`` builds the C cores under
+    AddressSanitizer and UndefinedBehaviorSanitizer.  The flags participate
+    in the build-cache key, so sanitized and plain artifacts occupy
+    separate cache slots and never shadow each other.  Running under ASan
+    typically also needs the sanitizer runtime preloaded into the host
+    python (``LD_PRELOAD=$(cc -print-file-name=libasan.so)``) and, because
+    CPython itself is not leak-clean, ``ASAN_OPTIONS=detect_leaks=0``.
+    """
+    raw = os.environ.get("REPRO_SAT_SANITIZE", "").strip().lower()
+    if not raw:
+        return ()
+    flags: list[str] = []
+    for name in raw.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in _SANITIZERS:
+            raise ValueError(
+                f"REPRO_SAT_SANITIZE={raw!r}: unknown sanitizer {name!r} "
+                f"(expected a comma-separated subset of {sorted(_SANITIZERS)})"
+            )
+        flags.extend(_SANITIZERS[name])
+    if flags:
+        flags.extend(("-fno-sanitize-recover=all", "-g"))
+    return tuple(flags)
+
+
 def _build_dir() -> Optional[Path]:
     """The package-local cache directory, or ``None`` when not writable.
 
@@ -120,7 +159,10 @@ def _build_dir() -> Optional[Path]:
 
 def _compile() -> Path:
     source = _SOURCE.read_bytes()
-    digest = hashlib.sha256(source).hexdigest()[:16]
+    extra = sanitize_flags()
+    # The sanitizer flags join the digest: a sanitized build lands in its
+    # own cache slot and a later plain run never loads it by accident.
+    digest = hashlib.sha256(source + b"\x00" + " ".join(extra).encode()).hexdigest()[:16]
     cache = _build_dir()
     out = None if cache is None else cache / f"_search_{digest}.so"
     if out is not None and out.exists():
@@ -128,13 +170,14 @@ def _compile() -> Path:
     compiler = _find_compiler()
     if compiler is None:
         raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    command = [compiler, "-O2", "-shared", "-fPIC", *extra]
     if out is None:
         # Private per-process directory (0700 by mkdtemp): built fresh every
         # process, never loaded from a path another user could pre-create.
         private = Path(tempfile.mkdtemp(prefix="repro-sat-"))
         target = private / f"_search_{digest}.so"
         subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", str(target), str(_SOURCE)],
+            [*command, "-o", str(target), str(_SOURCE)],
             check=True,
             capture_output=True,
         )
@@ -142,7 +185,7 @@ def _compile() -> Path:
     with tempfile.TemporaryDirectory(dir=str(out.parent)) as workdir:
         staging = Path(workdir) / out.name
         subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", str(staging), str(_SOURCE)],
+            [*command, "-o", str(staging), str(_SOURCE)],
             check=True,
             capture_output=True,
         )

@@ -932,6 +932,147 @@ class Solver:
         for ref in self._learnts:
             self._attach(ref)
 
+    # ----------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Assert the solver's core data-structure invariants.
+
+        A debugging aid for tests (the backend differential matrix calls it
+        after forced compaction and after C-kernel re-entry), not a hot-path
+        check: it walks the whole arena, every watcher list, the trail and
+        the order heap in O(arena + vars) and raises ``AssertionError`` on
+        the first inconsistency.  Safe to call at any quiescent point (never
+        mid-propagation).
+        """
+        arena = self._arena
+        end = self._arena_len
+        assert end <= len(arena), (
+            f"logical arena length {end} exceeds buffer {len(arena)}"
+        )
+        # Arena walk: clause spans tile [1, end) exactly and the dead spans
+        # sum to the garbage counter.
+        live_refs: set[int] = set()
+        position = 1
+        garbage = 0
+        while position < end:
+            header = arena[position]
+            size = header >> 2
+            assert size >= 0 and position + _HDR + size <= end, (
+                f"clause at ref {position} overruns the arena"
+            )
+            if header & _FLAG_DEAD:
+                garbage += _HDR + size
+            else:
+                live_refs.add(position)
+            position += _HDR + size
+        assert position == end, "arena clause spans do not tile the logical length"
+        assert garbage == self._garbage, (
+            f"garbage counter {self._garbage} != dead span total {garbage}"
+        )
+        listed = list(self._clauses) + list(self._learnts)
+        listed_set = set(listed)
+        assert len(listed) == len(listed_set), "duplicate ref in clause lists"
+        assert live_refs <= listed_set, (
+            "live arena clause missing from the clause lists"
+        )
+        # Watcher lists: under each literal, every link names a live clause
+        # actually watching that literal in that slot, exactly once; and
+        # every live clause of two or more literals is linked in both slots.
+        heads = self._heads
+        seen_watches: set[tuple[int, int]] = set()
+        bound = 2 * len(live_refs) + 1
+        for lit in range(2, 2 * self._num_vars + 2):
+            current = heads[lit]
+            steps = 0
+            while current:
+                ref = current >> 1
+                slot = current & 1
+                assert ref in live_refs, (
+                    f"watcher of literal {lit} points at dead/unknown ref {ref}"
+                )
+                assert arena[ref + _HDR + slot] == lit, (
+                    f"clause {ref} slot {slot} watches "
+                    f"{arena[ref + _HDR + slot]}, linked under {lit}"
+                )
+                key = (ref, slot)
+                assert key not in seen_watches, (
+                    f"clause {ref} slot {slot} linked twice"
+                )
+                seen_watches.add(key)
+                current = arena[ref + 1 + slot]
+                steps += 1
+                assert steps <= bound, f"watcher list of literal {lit} cycles"
+        for ref in live_refs:
+            if (arena[ref] >> 2) >= 2:
+                assert (ref, 0) in seen_watches and (ref, 1) in seen_watches, (
+                    f"clause {ref} is live but not linked in both watch slots"
+                )
+        # Trail and levels: limits are monotone, trail variables are unique
+        # and true, and each sits at the decision level of its segment.
+        assert 0 <= self._qhead <= self._trail_len, "qhead outside the trail"
+        lims = list(self._trail_lim)
+        assert lims == sorted(lims) and all(
+            0 <= lim <= self._trail_len for lim in lims
+        ), f"trail limits {lims} not monotone within the trail"
+        trail_vars: set[int] = set()
+        level = 0
+        for index in range(self._trail_len):
+            while level < len(lims) and lims[level] <= index:
+                level += 1
+            ilit = self._trail[index]
+            var = ilit >> 1
+            assert 1 <= var <= self._num_vars, f"trail literal {ilit} out of range"
+            assert var not in trail_vars, f"variable {var} on the trail twice"
+            trail_vars.add(var)
+            assert self._lit_value(ilit) == _TRUE, (
+                f"trail literal at {index} is not satisfied"
+            )
+            assert self._level[var] == level, (
+                f"variable {var} stored at level {self._level[var]}, "
+                f"sits in trail segment {level}"
+            )
+            reason = self._reason[var]
+            assert reason == 0 or reason in live_refs, (
+                f"variable {var} has dead/unknown reason ref {reason}"
+            )
+        assigned = {
+            var
+            for var in range(1, self._num_vars + 1)
+            if self._assigns[var] != _UNDEF
+        }
+        assert assigned == trail_vars, (
+            "assignment map and trail disagree: "
+            f"{sorted(assigned ^ trail_vars)} in one but not the other"
+        )
+        # Order heap: position map and storage agree, the max-heap property
+        # holds, and every unassigned variable is present (ready to branch).
+        heap_buf = self._order.heap_buffer()
+        pos_buf = self._order.positions_buffer()
+        size = self._order.size
+        assert size <= len(heap_buf), "heap size exceeds its storage"
+        for index in range(size):
+            var = heap_buf[index]
+            assert 1 <= var <= self._num_vars, f"heap holds bad variable {var}"
+            assert pos_buf[var] == index, (
+                f"position map says {pos_buf[var]} for variable {var} at "
+                f"heap index {index}"
+            )
+            if index:
+                parent = heap_buf[(index - 1) >> 1]
+                assert self._activity[parent] >= self._activity[var], (
+                    f"heap property violated at index {index}"
+                )
+        for var in range(1, self._num_vars + 1):
+            pos = pos_buf[var] if var < len(pos_buf) else -1
+            if pos >= 0:
+                assert pos < size and heap_buf[pos] == var, (
+                    f"stale heap position {pos} for variable {var}"
+                )
+            else:
+                assert var in assigned, (
+                    f"unassigned variable {var} missing from the order heap"
+                )
+
     # ---------------------------------------------------------- propagation
 
     def _enqueue(self, ilit: int, reason_ref: int) -> bool:

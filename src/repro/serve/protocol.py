@@ -28,9 +28,11 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.report import LocalizationReport, RankedLocalization
 from repro.spec import Specification
 
-#: Upper bound on one frame.  Reports and batched requests are small; the
-#: largest legitimate payloads are program sources (kilobytes).  Anything
-#: bigger is a framing error or abuse.
+#: Default upper bound on one frame.  Reports and batched requests are
+#: small; the largest legitimate payloads are program sources (kilobytes).
+#: Anything bigger is a framing error or abuse.  Servers can lower the
+#: *inbound* bound per instance (``LocalizationServer(max_frame_bytes=...)``)
+#: without affecting what they are allowed to send back.
 MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 _HEADER = struct.Struct("!I")
@@ -51,15 +53,15 @@ def pack_frame(payload: Mapping[str, Any]) -> bytes:
     return _HEADER.pack(len(body)) + body
 
 
-def frame_length(header: bytes) -> int:
-    """Validate and decode a frame header."""
+def frame_length(header: bytes, max_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Validate and decode a frame header against a frame-size bound."""
     if len(header) != _HEADER.size:
         raise ProtocolError(f"short frame header ({len(header)} bytes)")
     (length,) = _HEADER.unpack(header)
     if length == 0:
         raise ProtocolError("zero-length frame")
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    if length > max_bytes:
+        raise ProtocolError(f"frame of {length} bytes exceeds {max_bytes}")
     return length
 
 
@@ -74,8 +76,12 @@ def decode_body(body: bytes) -> dict:
     return payload
 
 
-async def read_frame(reader) -> Optional[dict]:
-    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+async def read_frame(reader, max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    ``max_bytes`` bounds the frame *before* the body is allocated, so an
+    adversarial or garbage length prefix can never balloon memory.
+    """
     import asyncio
 
     try:
@@ -84,7 +90,7 @@ async def read_frame(reader) -> Optional[dict]:
         if not exc.partial:
             return None
         raise ProtocolError("connection closed mid-header") from exc
-    length = frame_length(header)
+    length = frame_length(header, max_bytes=max_bytes)
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
@@ -103,12 +109,12 @@ def send_frame(sock: socket.socket, payload: Mapping[str, Any]) -> None:
     sock.sendall(pack_frame(payload))
 
 
-def recv_frame(sock: socket.socket) -> Optional[dict]:
+def recv_frame(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
     """Blocking-socket counterpart of :func:`read_frame`; ``None`` on EOF."""
     header = _recv_exactly(sock, _HEADER.size)
     if header is None:
         return None
-    length = frame_length(header)
+    length = frame_length(header, max_bytes=max_bytes)
     body = _recv_exactly(sock, length)
     if body is None:
         raise ProtocolError("connection closed mid-frame")

@@ -32,8 +32,14 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
+from repro.lang.diagnostics import diagnostics_to_wire
 from repro.serve import protocol
-from repro.serve.store import ArtifactStore, ResultCache, normalize_compile_options
+from repro.serve.store import (
+    ArtifactStore,
+    CompileRejectedError,
+    ResultCache,
+    normalize_compile_options,
+)
 from repro.serve.workers import Job, ServeShardError, WorkerPool
 
 #: Session-level options accepted per request (never part of the artifact
@@ -43,6 +49,7 @@ SESSION_OPTION_DEFAULTS: dict[str, object] = {
     "max_candidates": 25,
     "hard_lines": (),
     "warm_start": True,
+    "static_pruning": True,
 }
 
 
@@ -71,7 +78,14 @@ class LocalizationServer:
         workers: int = 2,
         max_sessions_per_worker: int = 8,
         result_cache_entries: int = 1024,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
     ) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        #: Inbound frame-size bound: a client sending a larger (or garbage)
+        #: length prefix gets a structured error and loses only its own
+        #: connection.  Outbound responses keep the protocol-wide bound.
+        self.max_frame_bytes = min(max_frame_bytes, protocol.MAX_FRAME_BYTES)
         self.store = store if store is not None else ArtifactStore()
         self.pool = pool if pool is not None else WorkerPool(
             workers=workers, max_sessions_per_worker=max_sessions_per_worker
@@ -160,7 +174,9 @@ class LocalizationServer:
         try:
             while True:
                 try:
-                    request = await protocol.read_frame(reader)
+                    request = await protocol.read_frame(
+                        reader, max_bytes=self.max_frame_bytes
+                    )
                 except protocol.ProtocolError as exc:
                     # Malformed framing: tell the client if the stream is
                     # still writable, then drop the connection.  The daemon
@@ -168,7 +184,12 @@ class LocalizationServer:
                     self.protocol_errors += 1
                     with contextlib.suppress(Exception):
                         await protocol.write_frame(
-                            writer, {"ok": False, "error": f"protocol error: {exc}"}
+                            writer,
+                            {
+                                "ok": False,
+                                "error": f"protocol error: {exc}",
+                                "error_kind": "protocol",
+                            },
                         )
                     break
                 if request is None:
@@ -211,6 +232,16 @@ class LocalizationServer:
             return {"ok": False, "error": f"unknown op {op!r}"}
         try:
             return await handler(request)
+        except CompileRejectedError as exc:
+            # The program itself is bad (parse/type error, or the static
+            # analyzer proved a hard error): a structured rejection, not a
+            # worker traceback.
+            return {
+                "ok": False,
+                "error": str(exc),
+                "error_kind": "rejected",
+                "diagnostics": diagnostics_to_wire(exc.diagnostics),
+            }
         except (protocol.ProtocolError, ValueError, KeyError, TypeError) as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         except ServeShardError as exc:
@@ -265,6 +296,9 @@ class LocalizationServer:
             "num_vars": compiled.num_vars,
             "num_clauses": compiled.num_clauses,
             "signature": compiled.signature,
+            "diagnostics": diagnostics_to_wire(compiled.diagnostics),
+            "pruned_lines": list(compiled.pruned_lines),
+            "narrowed_vars": compiled.narrowed_vars,
         }
 
     # --------------------------------------------------------------- localize

@@ -39,6 +39,7 @@ from repro.bmc.compiled import (
     loads_artifact,
 )
 from repro.lang import check_program, parse_program
+from repro.lang.diagnostics import ERROR, Diagnostic, has_errors
 
 #: Compile options understood by :meth:`ArtifactStore.get_or_compile`,
 #: with their defaults.  Only these participate in the artifact key.
@@ -49,7 +50,26 @@ COMPILE_OPTION_DEFAULTS: dict[str, object] = {
     "unwind": 16,
     "hard_functions": (),
     "simplify": True,
+    "analysis_narrowing": True,
 }
+
+
+class CompileRejectedError(ValueError):
+    """The program failed compilation with structured diagnostics.
+
+    Raised for parse errors, type errors, and static-analysis findings of
+    ERROR severity (a division whose divisor is always zero, an array index
+    that is always out of bounds).  Carries the
+    :class:`~repro.lang.diagnostics.Diagnostic` records so the daemon can
+    answer with a structured rejection instead of a worker traceback.
+    """
+
+    def __init__(self, diagnostics: tuple[Diagnostic, ...]) -> None:
+        self.diagnostics = tuple(diagnostics)
+        summary = "; ".join(
+            f"line {d.line}: [{d.code}] {d.message}" for d in self.diagnostics
+        )
+        super().__init__(f"program rejected: {summary}")
 
 
 def normalize_compile_options(options: Optional[Mapping[str, object]]) -> dict:
@@ -216,18 +236,30 @@ class ArtifactStore:
     # ----------------------------------------------------------------- fill
 
     def _compile(self, program_text: str, normalized: dict) -> CompiledProgram:
-        program = parse_program(program_text, name=normalized["name"])
-        check_program(program)
+        from repro.lang.parser import ParseError
+        from repro.lang.typecheck import TypeError_
+
+        try:
+            program = parse_program(program_text, name=normalized["name"])
+            check_program(program)
+        except (ParseError, TypeError_) as exc:
+            raise CompileRejectedError((exc.to_diagnostic(),)) from exc
         checker_kwargs: dict[str, object] = {
             "unwind": normalized["unwind"],
             "group_statements": True,
             "hard_functions": tuple(normalized["hard_functions"]),
             "simplify": normalized["simplify"],
+            "analysis_narrowing": normalized["analysis_narrowing"],
         }
         if normalized["width"] is not None:
             checker_kwargs["width"] = normalized["width"]
         checker = BoundedModelChecker(program, **checker_kwargs)
-        return checker.compile_program(entry=normalized["entry"])
+        compiled = checker.compile_program(entry=normalized["entry"])
+        if has_errors(compiled.diagnostics):
+            raise CompileRejectedError(
+                tuple(d for d in compiled.diagnostics if d.severity == ERROR)
+            )
+        return compiled
 
     def _admit(self, key: str, compiled: CompiledProgram, spill: bool) -> None:
         self._memory[key] = compiled

@@ -421,6 +421,7 @@ def _worker_main(conn, max_sessions: int) -> None:
                 options.get("max_candidates", 25),
                 tuple(sorted(options.get("hard_lines", ()))),
                 options.get("warm_start", True),
+                options.get("static_pruning", True),
             )
             session = sessions.get(session_key)
             if session is None:
@@ -430,6 +431,7 @@ def _worker_main(conn, max_sessions: int) -> None:
                     max_candidates=session_key[2],
                     hard_lines=session_key[3],
                     warm_start=session_key[4],
+                    static_pruning=session_key[5],
                 )
                 sessions[session_key] = session
             sessions.move_to_end(session_key)

@@ -214,6 +214,11 @@ class LargeBenchmarkResult:
     gates_shared: int = 0
     #: Circuit simplifier configuration used by the encoder.
     simplifier: str = ""
+    #: Clauses the interval analysis removed from the reduced trace: the
+    #: same trace encoded with ``analysis_narrowing`` off minus with it on.
+    clauses_pruned: int = 0
+    #: High bits pinned by narrowing plans across all written values.
+    narrowed_vars: int = 0
 
 
 def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkResult:
@@ -262,6 +267,17 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     result.assignments_after = reduced.num_assignments
     result.variables_after = reduced.num_vars
     result.clauses_after = reduced.num_clauses
+    result.narrowed_vars = reduced.narrowed_vars
+
+    # Same reduced trace without analysis narrowing: the clause-count gap is
+    # what the interval analysis bought on this row.
+    unnarrowed = ConcolicTracer(
+        faulty,
+        relevant_lines=settings.get("relevant_lines"),
+        concrete_functions=concrete,
+        analysis_narrowing=False,
+    ).trace(test, spec)
+    result.clauses_pruned = unnarrowed.num_clauses - reduced.num_clauses
 
     localizer = BugAssistLocalizer(faulty, mode="trace", max_candidates=max_candidates)
     report = localizer.localize_trace(reduced, program_name=benchmark.name)

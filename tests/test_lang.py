@@ -379,3 +379,103 @@ class TestSemantics:
 def test_interpreter_matches_python_semantics_on_max3(a, b, c):
     interp = Interpreter(parse_program(MAX_PROGRAM))
     assert interp.run([a, b, c]).return_value == max(a, b, c)
+
+
+class TestTypecheckErrorPaths:
+    """The semantic checks that were previously almost untested."""
+
+    def test_duplicate_global_declarations(self):
+        source = "int a = 1;\nint a[4];\nint main() { return 0; }"
+        with pytest.raises(TypeCheckError, match="declared twice"):
+            check_program(parse_program(source))
+
+    def test_builtin_arity_mismatch(self):
+        with pytest.raises(TypeCheckError, match="nondet"):
+            check_program(parse_program("int main() { return nondet(1); }"))
+
+    def test_assignment_to_undeclared_variable(self):
+        source = "int main() {\n    ghost = 3;\n    return 0;\n}"
+        with pytest.raises(TypeCheckError) as excinfo:
+            check_program(parse_program(source))
+        assert excinfo.value.line == 2
+
+    def test_assignment_to_undeclared_array(self):
+        with pytest.raises(TypeCheckError, match="undeclared array"):
+            check_program(parse_program("int main() { ghost[0] = 1; return 0; }"))
+
+    def test_scalar_indexed_as_array(self):
+        source = "int main() {\n    int s = 1;\n    return s[0];\n}"
+        with pytest.raises(TypeCheckError, match="undeclared array"):
+            check_program(parse_program(source))
+
+    def test_errors_in_nested_bodies_are_found(self):
+        source = (
+            "int main(int x) {\n"
+            "    while (x > 0) {\n"
+            "        if (x > 5) {\n"
+            "            oops = 1;\n"
+            "        }\n"
+            "        x = x - 1;\n"
+            "    }\n"
+            "    return x;\n"
+            "}"
+        )
+        with pytest.raises(TypeCheckError) as excinfo:
+            check_program(parse_program(source))
+        assert excinfo.value.line == 4
+
+    def test_error_message_carries_line_prefix(self):
+        with pytest.raises(TypeCheckError, match="line 1"):
+            check_program(parse_program("int main() { return missing; }"))
+
+
+class TestStructuredDiagnostics:
+    """Front-end failures flow through the shared Diagnostic shape."""
+
+    def test_type_error_to_diagnostic(self):
+        from repro.lang.diagnostics import ERROR
+
+        try:
+            check_program(parse_program("int main() {\n    return missing;\n}"))
+        except TypeCheckError as exc:
+            diagnostic = exc.to_diagnostic()
+        assert diagnostic.severity == ERROR
+        assert diagnostic.code == "type-error"
+        assert diagnostic.line == 2
+        assert "missing" in diagnostic.message
+
+    def test_parse_error_to_diagnostic(self):
+        from repro.lang.diagnostics import ERROR
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("int main() {\n    int x = ;\n}")
+        diagnostic = excinfo.value.to_diagnostic()
+        assert diagnostic.severity == ERROR
+        assert diagnostic.code == "parse-error"
+        assert diagnostic.line == 2
+
+    def test_wire_round_trip(self):
+        from repro.lang.diagnostics import Diagnostic, diagnostics_to_wire
+
+        diagnostic = Diagnostic(
+            line=7, severity="warning", code="overflow", message="m", function="f"
+        )
+        wire = diagnostics_to_wire([diagnostic])
+        assert wire == [diagnostic.to_wire()]
+        assert Diagnostic.from_wire(wire[0]) == diagnostic
+
+    def test_render_shape(self):
+        from repro.lang.diagnostics import Diagnostic
+
+        diagnostic = Diagnostic(
+            line=3, severity="error", code="type-error", message="bad", function="main"
+        )
+        assert diagnostic.render("prog.mc") == (
+            "prog.mc:3: error: [type-error] bad in main()"
+        )
+
+    def test_unknown_severity_rejected(self):
+        from repro.lang.diagnostics import Diagnostic
+
+        with pytest.raises(ValueError):
+            Diagnostic(line=1, severity="fatal", code="x", message="y")

@@ -233,11 +233,41 @@ class TestDifferentialMatrix:
                 solver.pop()
             solver._compact()
             assert solver._garbage == 0
+            solver.check_invariants()
         clauses = _random_instance(321, num_vars=12, num_clauses=48)
         for solver in solvers:
             for clause in clauses:
                 solver.add_clause(list(clause))
         _assert_all_same(solvers, [solver.solve() for solver in solvers])
+        for solver in solvers:
+            # The compaction remap and the C kernel's re-entry must both
+            # leave the arena, watches, trail and order heap consistent.
+            solver.check_invariants()
+
+    @pytest.mark.parametrize("combo", COMBOS)
+    def test_invariants_hold_through_search_lifecycle(self, combo):
+        """check_invariants passes at every quiescent point of a session."""
+        prop, search = combo
+        solver = Solver(backend=prop, search=search)
+        solver.check_invariants()
+        for clause in _random_instance(606, num_vars=14, num_clauses=58):
+            solver.add_clause(list(clause))
+        solver.check_invariants()
+        solver.solve()
+        solver.check_invariants()
+        solver.solve([1, -2, 3])
+        solver.check_invariants()
+        solver.push()
+        for clause in _random_instance(607, num_vars=14, num_clauses=30):
+            solver.add_clause(list(clause))
+        solver.solve()
+        solver.check_invariants()
+        solver.pop()
+        solver.check_invariants()
+        solver._compact()
+        solver.check_invariants()
+        solver.solve()
+        solver.check_invariants()
 
     def test_budgeted_probe_identical(self):
         clauses = _random_instance(77, num_vars=16, num_clauses=70)

@@ -488,3 +488,132 @@ class TestDaemonLifecycle:
                 assert reply["ok"]
                 assert client.shutdown()["stopping"]
         assert not path.exists()
+
+
+# ------------------------------------------------- compile-time diagnostics
+
+
+WARNY = (
+    "int main(int x) {\n"
+    "    int total;\n"
+    "    int sum = total + x;\n"
+    "    return sum;\n"
+    "}\n"
+)
+
+REJECTED = (
+    "int main(int x) {\n"
+    "    int zero = 0;\n"
+    "    return x / zero;\n"
+    "}\n"
+)
+
+
+class TestCompileDiagnostics:
+    def test_compile_response_carries_diagnostics(self, daemon):
+        with Client(tcp=daemon.tcp_address) as client:
+            reply = client.compile(WARNY, name="warny")
+        assert reply["ok"]
+        codes = {d["code"] for d in reply["diagnostics"]}
+        assert "uninitialized-read" in codes
+        assert all(isinstance(d["line"], int) for d in reply["diagnostics"])
+        assert "pruned_lines" in reply and "narrowed_vars" in reply
+
+    def test_clean_program_has_empty_diagnostics(self, daemon):
+        with Client(tcp=daemon.tcp_address) as client:
+            reply = client.compile(CLASSIFY, name="classify-diag")
+        assert reply["ok"]
+        assert reply["diagnostics"] == []
+
+    def test_error_program_is_rejected_with_structure(self, daemon):
+        host, port = daemon.tcp_address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            protocol.send_frame(
+                sock,
+                {"op": "compile", "program": REJECTED, "options": {"name": "bad"}},
+            )
+            response = protocol.recv_frame(sock)
+        assert response["ok"] is False
+        assert response["error_kind"] == "rejected"
+        assert "rejected" in response["error"]
+        codes = {d["code"] for d in response["diagnostics"]}
+        assert codes == {"const-div-by-zero"}
+        assert response["diagnostics"][0]["line"] == 3
+        # The daemon is healthy and the artifact was never stored.
+        with Client(tcp=daemon.tcp_address) as client:
+            assert client.stats()["ok"] is True
+
+    def test_parse_error_is_rejected_with_structure(self, daemon):
+        host, port = daemon.tcp_address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            protocol.send_frame(
+                sock, {"op": "compile", "program": "int main( {", "options": {}}
+            )
+            response = protocol.recv_frame(sock)
+        assert response["ok"] is False
+        assert response["error_kind"] == "rejected"
+        assert response["diagnostics"][0]["severity"] == "error"
+
+    def test_narrowing_option_is_part_of_the_artifact_key(self):
+        on = normalize_compile_options({})
+        off = normalize_compile_options({"analysis_narrowing": False})
+        assert on["analysis_narrowing"] is True
+        assert artifact_key(CLASSIFY, on) != artifact_key(CLASSIFY, off)
+
+
+# ------------------------------------------------------ inbound frame bound
+
+
+class TestInboundFrameBound:
+    def test_oversized_frame_gets_structured_error_and_drop(self):
+        with ServerThread(workers=1, max_frame_bytes=4096) as handle:
+            host, port = handle.tcp_address
+            with Client(tcp=(host, port)) as client:
+                client.wait_until_ready()
+            with socket.create_connection((host, port), timeout=10) as sock:
+                payload = json.dumps(
+                    {"op": "compile", "program": "x" * 8192}
+                ).encode()
+                sock.sendall(struct.pack("!I", len(payload)) + payload)
+                response = protocol.recv_frame(sock)
+                assert response["ok"] is False
+                assert response["error_kind"] == "protocol"
+                assert "exceeds" in response["error"]
+                # Only this connection is dropped: EOF follows the error.
+                assert sock.recv(4096) == b""
+            # Compliant clients on new connections are unaffected.
+            with Client(tcp=(host, port)) as client:
+                reply = client.compile(OTHER, name="after-oversize")
+                assert reply["ok"]
+
+    def test_bound_does_not_limit_responses(self):
+        # A server with a tiny inbound bound can still answer with frames
+        # bigger than that bound (response packing uses the protocol cap).
+        with ServerThread(workers=1, max_frame_bytes=512) as handle:
+            host, port = handle.tcp_address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                protocol.send_frame(sock, {"op": "stats"})
+                response = protocol.recv_frame(sock)
+            assert response["ok"] is True
+
+    def test_fuzz_small_bound_server_survives(self):
+        import random
+
+        rng = random.Random(20260807)
+        with ServerThread(workers=1, max_frame_bytes=1024) as handle:
+            host, port = handle.tcp_address
+            for _ in range(25):
+                blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+                with socket.create_connection((host, port), timeout=10) as sock:
+                    sock.sendall(blob)
+                    sock.shutdown(socket.SHUT_WR)
+                    while sock.recv(4096):
+                        pass
+            with Client(tcp=(host, port)) as client:
+                assert client.stats()["ok"] is True
+
+    def test_nonpositive_bound_rejected(self):
+        from repro.serve.server import LocalizationServer
+
+        with pytest.raises(ValueError):
+            LocalizationServer(max_frame_bytes=0)
