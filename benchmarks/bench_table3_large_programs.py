@@ -96,6 +96,10 @@ def _write_bench_json() -> None:
             "simplifier": row.simplifier,
             "clauses_pruned": row.clauses_pruned,
             "narrowed_vars": row.narrowed_vars,
+            "encode_time_cold": round(row.encode_time_cold, 4),
+            "encode_time_warm": round(row.encode_time_warm, 4),
+            "warm_spliced": row.warm_spliced,
+            "impact_fraction": round(row.impact_fraction, 4),
             "propagation_backend": propagation_backend(),
             "analysis_backend": search_backend(),
         }

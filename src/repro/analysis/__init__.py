@@ -29,6 +29,17 @@ from repro.analysis.domains import (
     IntervalState,
 )
 from repro.analysis.framework import Domain, solve
+from repro.analysis.impact import (
+    ChangeSet,
+    FunctionSignature,
+    ImpactSet,
+    ProgramFingerprint,
+    compute_impact,
+    diff_fingerprints,
+    fingerprint_program,
+    function_signature,
+    program_line_map,
+)
 from repro.analysis.intervals import Interval, width_bounds
 from repro.lang.diagnostics import ERROR, WARNING, Diagnostic, has_errors
 
@@ -44,6 +55,15 @@ __all__ = [
     "IntervalState",
     "Domain",
     "solve",
+    "ChangeSet",
+    "FunctionSignature",
+    "ImpactSet",
+    "ProgramFingerprint",
+    "compute_impact",
+    "diff_fingerprints",
+    "fingerprint_program",
+    "function_signature",
+    "program_line_map",
     "Interval",
     "width_bounds",
     "Diagnostic",

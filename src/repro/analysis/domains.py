@@ -589,3 +589,55 @@ class DefiniteInitDomain:
 
     def refine_edge(self, edge: Edge, state: frozenset) -> Optional[frozenset]:
         return state
+
+
+class LiveLocalsDomain:
+    """May-analysis of live local variables, run over a reversed CFG.
+
+    The forward solver on :meth:`~repro.cfg.graph.FunctionGraph.reversed_view`
+    computes classic backward liveness: the state the solver reports *into*
+    a node is the set of locals whose current value may still be read after
+    the node executes.  A scalar store whose target is not in that set is a
+    dead store (powering the ``dead-store`` lint).
+
+    Only locals (parameters and declared variables) are tracked — a global
+    is observable by callers after the function returns, so a store to it
+    is never provably dead from inside one function.  An element store
+    ``a[i] = v`` does not kill ``a`` (it redefines one cell), and any array
+    read keeps the whole array live; whole-array precision is deliberately
+    coarse but sound for a may-analysis.
+    """
+
+    def __init__(self, function: ast.Function) -> None:
+        from repro.cfg.defuse import function_local_names as _locals
+
+        self.function = function
+        self.locals = frozenset(_locals(function))
+
+    def entry_state(self) -> frozenset:
+        # The reversed entry is the function exit: no local outlives it.
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def widen(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b  # finite lattice: the join already converges
+
+    def equal(self, a: frozenset, b: frozenset) -> bool:
+        return a == b
+
+    def transfer(self, node: Node, state: frozenset) -> Optional[frozenset]:
+        from repro.cfg.defuse import statement_uses
+
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        # ``state`` is live-after in execution order; produce live-before.
+        if isinstance(stmt, (ast.Assign, ast.VarDecl, ast.ArrayDecl)):
+            state = state - {stmt.name}
+        gen = statement_uses(stmt) & self.locals
+        return state | gen
+
+    def refine_edge(self, edge: Edge, state: frozenset) -> Optional[frozenset]:
+        return state

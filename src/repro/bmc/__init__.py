@@ -19,6 +19,7 @@ from repro.bmc.compiled import (
     dumps_artifact,
     loads_artifact,
 )
+from repro.bmc.splice import splice_compile
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -29,4 +30,5 @@ __all__ = [
     "artifact_key",
     "dumps_artifact",
     "loads_artifact",
+    "splice_compile",
 ]

@@ -62,6 +62,12 @@ class _Frame:
 class BoundedModelChecker:
     """Bit-precise whole-program encoding, assertion checking and formulas."""
 
+    #: Installed by :mod:`repro.bmc.splice` while re-encoding a changed
+    #: region: called with (name, frame, guard) before a call subtree is
+    #: encoded, it may replay the callee's base-journal span instead and
+    #: return the result bits (None = encode live as usual).
+    _splice_call_hook = None
+
     def __init__(
         self,
         program: ast.Program,
@@ -95,6 +101,23 @@ class BoundedModelChecker:
         self.analysis_narrowing = analysis_narrowing
 
     # ------------------------------------------------------------------ API
+
+    def compile_options(self, entry: str = "main") -> dict:
+        """The encoding options that determine the compiled CNF.
+
+        Stored inside every artifact; a journal replay only splices between
+        artifacts compiled with identical options.
+        """
+        return {
+            "entry": entry,
+            "width": self.width,
+            "unwind": self.unwind,
+            "max_call_depth": self.max_call_depth,
+            "group_statements": self.group_statements,
+            "hard_functions": tuple(sorted(self.hard_functions)),
+            "simplify": self.simplify,
+            "analysis_narrowing": self.analysis_narrowing,
+        }
 
     def find_counterexample(self, entry: str = "main") -> Optional[Counterexample]:
         """Return a failing test for some assertion, or ``None`` within the bound."""
@@ -139,11 +162,17 @@ class BoundedModelChecker:
         use; the artifact is picklable so batch localization can ship it to
         worker processes once.
         """
-        input_bits, return_bits = self._encode(entry)
+        input_bits, return_bits = self._encode(entry, journal=True)
         context = self._context
         function = self.program.function(entry)
         analysis = self._analysis_for(entry)
         diagnostics = analysis.diagnostics if analysis is not None else ()
+        from repro.analysis.impact import fingerprint_program
+
+        # The journal shares its clause-list objects with hard/groups, so the
+        # artifact must share them too (copying would double the pickle and
+        # break the sharing the replay relies on); clause lists are treated
+        # as immutable by every consumer.
         return CompiledProgram(
             program_name=self.program.name,
             entry=entry,
@@ -151,7 +180,7 @@ class BoundedModelChecker:
             unwind=self.unwind,
             num_vars=context.num_vars,
             params=tuple(function.params),
-            hard=[list(clause) for clause in context.hard],
+            hard=list(context.hard),
             groups={group: list(clauses) for group, clauses in context.groups.items()},
             steps=list(self._steps),
             input_bits=dict(input_bits),
@@ -165,6 +194,12 @@ class BoundedModelChecker:
             diagnostics=diagnostics,
             pruned_lines=self._pruned_lines(),
             narrowed_vars=self._narrowed_vars,
+            fingerprint=fingerprint_program(self.program),
+            journal=context.journal,
+            group_table=list(context.group_table),
+            compile_options=self.compile_options(entry),
+            narrowing_plans=self._narrowing_plan_table(),
+            analysis_cache=analysis.cache if analysis is not None else None,
         )
 
     def encode_program_formula(
@@ -207,9 +242,12 @@ class BoundedModelChecker:
 
     def encode_call(self, call: ast.Call) -> Bits:
         builder = self._builder
+        context = self._context
         if call.name == "nondet":
             bits = builder.fresh()
             self._nondet_bits.append(bits)
+            if context.journal is not None:
+                context.record(("nd", bits))
             return bits
         if len(self._frames) > self.max_call_depth:
             # Recursion beyond the bound: treat the result as unconstrained.
@@ -222,10 +260,42 @@ class BoundedModelChecker:
                 arg, force=force_binding
             )
         guard = self._current_guard
+        if self._splice_call_hook is not None:
+            replayed = self._splice_call_hook(call.name, frame, guard)
+            if replayed is not None:
+                return replayed
+        if context.journal is not None:
+            # Call-enter: the full interface the inlined subtree depends on.
+            # A journal replay re-encodes the subtree of a changed callee
+            # from exactly these bits (everything else about the callee's
+            # encoding is a function of them plus the program text).
+            group = context.current_group
+            context.record(
+                (
+                    "ce",
+                    call.name,
+                    len(self._frames),
+                    -1 if group is None else context.group_id(group),
+                    guard,
+                    tuple(frame.variables[param] for param in callee.params),
+                    self._globals_snapshot(),
+                )
+            )
         self._run_function(callee, frame, guard)
-        if frame.return_value is None:
-            return builder.const(0)
-        return frame.return_value
+        result = frame.return_value
+        if result is None:
+            result = builder.const(0)
+        if context.journal is not None:
+            # Call-exit: the bits the caller observes (result + globals).
+            context.record(("cx", call.name, result, self._globals_snapshot()))
+        return result
+
+    def _globals_snapshot(self) -> tuple:
+        """The current global bindings as a hashable journal payload."""
+        return tuple(
+            (name, value if isinstance(value, tuple) else tuple(value))
+            for name, value in self._globals.items()
+        )
 
     def concrete_value(self, expr: ast.Expr) -> Optional[int]:
         return None
@@ -242,8 +312,19 @@ class BoundedModelChecker:
             try:
                 from repro.analysis import analyze_program
 
+                # The splice path seeds ``(base_cache, reusable, line_map)``
+                # so hash-identical functions replay their recorded rounds
+                # instead of re-solving; see repro.analysis.incremental.
+                seed = getattr(self, "_analysis_seed", None) or (None, None, None)
+                base_cache, reusable, line_map = seed
                 cache[entry] = analyze_program(
-                    self.program, entry=entry, width=self.width
+                    self.program,
+                    entry=entry,
+                    width=self.width,
+                    record_cache=True,
+                    base_cache=base_cache,
+                    reusable=reusable,
+                    line_map=line_map,
                 )
             except Exception:  # pragma: no cover - defensive
                 cache[entry] = None
@@ -265,22 +346,44 @@ class BoundedModelChecker:
             return ()
         return tuple(sorted(self.program.statement_lines() - relevant))
 
+    def _narrowing_plan_table(self) -> dict[tuple[str, int], tuple[int, bool]]:
+        """Every non-trivial narrowing plan of the active analysis table.
+
+        Execution-independent (derived from the whole flow-insensitive
+        table, not from which writes the walk reached), so two versions'
+        tables can be compared per function without replaying anything —
+        the splice precondition for reusing encoded statements.
+        """
+        plans: dict[tuple[str, int], tuple[int, bool]] = {}
+        for key, interval in self._write_intervals.items():
+            plan = interval.narrowing_plan(self.width)
+            if plan is not None:
+                plans[key] = plan
+        return plans
+
     def _fresh_written(self, line: int) -> Bits:
         """A fresh vector for a written value — narrowed to the statically
         proven (flow-insensitive) range when the analysis found one."""
         builder = self._builder
-        interval = self._write_intervals.get((self._frames[-1].function, line))
+        function = self._frames[-1].function
+        interval = self._write_intervals.get((function, line))
         if interval is not None:
             plan = interval.narrowing_plan(self.width)
             if plan is not None:
                 low_bits, signed = plan
                 self._narrowed_vars += self.width - low_bits
+                if self._context.journal is not None:
+                    self._context.record(("nw", self.width - low_bits))
                 return builder.fresh_narrowed(low_bits, signed)
         return builder.fresh()
 
-    def _encode(self, entry: str) -> tuple[dict[str, Bits], Optional[Bits]]:
+    def _encode(
+        self, entry: str, journal: bool = False
+    ) -> tuple[dict[str, Bits], Optional[Bits]]:
         """Encode the whole program; returns (input bit-vectors, return bits)."""
         self._context = EncodingContext(self.width)
+        if journal:
+            self._context.begin_journal()
         self._builder = CircuitBuilder(self._context, simplify=self.simplify)
         self._encoder = ExpressionEncoder(self._builder, self)
         self._violations: list[tuple[int, int]] = []
@@ -305,7 +408,11 @@ class BoundedModelChecker:
             bits = builder.fresh()
             frame.variables[param] = bits
             input_bits[param] = bits
+            if self._context.journal is not None:
+                self._context.record(("in", param, bits))
         self._run_function(function, frame, builder.true)
+        if self._context.journal is not None:
+            self._context.record(("ret", frame.return_value))
         return input_bits, frame.return_value
 
     def _initialize_globals(self) -> None:
@@ -358,9 +465,10 @@ class BoundedModelChecker:
         return StatementGroup(line=stmt.line, function=function)
 
     def _record(self, stmt: ast.Stmt, kind: str) -> None:
-        self._steps.append(
-            TraceStep(line=stmt.line, function=self._frames[-1].function, kind=kind)
-        )
+        function = self._frames[-1].function
+        self._steps.append(TraceStep(line=stmt.line, function=function, kind=kind))
+        if self._context.journal is not None:
+            self._context.record(("s", stmt.line, function, kind))
 
     def _exec(self, stmt: ast.Stmt, guard: int) -> None:
         builder = self._builder
@@ -435,6 +543,8 @@ class BoundedModelChecker:
                 violation = builder.bit_and(self._effective(guard), -condition)
             if builder._const_value(violation) is not False:
                 self._violations.append((stmt.line, violation))
+                if self._context.journal is not None:
+                    self._context.record(("viol", stmt.line, violation))
             self._record(stmt, "assert")
         elif isinstance(stmt, ast.Assume):
             # The condition gets its own relaxable copy (like branch

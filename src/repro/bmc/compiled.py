@@ -37,7 +37,7 @@ Bits = tuple[int, ...]
 #: :class:`~repro.encoding.context.StatementGroup`) change incompatibly, so a
 #: content-addressed store never deserializes a stale on-disk spill into a
 #: newer process — it recompiles instead.
-ARTIFACT_FORMAT_VERSION = 2
+ARTIFACT_FORMAT_VERSION = 3
 
 #: Magic prefix of a serialized artifact (sanity check before unpickling).
 _ARTIFACT_MAGIC = b"repro-artifact\x00"
@@ -99,6 +99,21 @@ def dumps_artifact(compiled: "CompiledProgram") -> bytes:
         + ARTIFACT_FORMAT_VERSION.to_bytes(4, "big")
         + pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
     )
+
+
+def peek_artifact_version(data: bytes) -> Optional[int]:
+    """The format version stamped in an artifact's envelope, or ``None``
+    when the bytes do not start with the artifact magic.  Reads only the
+    header: callers can pass the first :data:`ARTIFACT_HEADER_BYTES` of a
+    spill file to triage stale formats without unpickling anything."""
+    header = len(_ARTIFACT_MAGIC) + 4
+    if len(data) < header or not data.startswith(_ARTIFACT_MAGIC):
+        return None
+    return int.from_bytes(data[len(_ARTIFACT_MAGIC) : header], "big")
+
+
+#: Bytes of envelope needed by :func:`peek_artifact_version`.
+ARTIFACT_HEADER_BYTES = len(_ARTIFACT_MAGIC) + 4
 
 
 def loads_artifact(data: bytes) -> "CompiledProgram":
@@ -163,6 +178,30 @@ class CompiledProgram:
     pruned_lines: tuple[int, ...] = ()
     #: Bits eliminated by analysis-guided range narrowing during compile.
     narrowed_vars: int = 0
+    #: Canonical per-function hashes of the compiled program
+    #: (:class:`~repro.analysis.impact.ProgramFingerprint`): the identity
+    #: the store's nearest-ancestor index and the change-impact diff use.
+    fingerprint: Optional[object] = None
+    #: Emission journal (see :class:`~repro.encoding.context.EncodingContext`):
+    #: every allocation/emission event in order, clause lists shared with
+    #: ``hard``/``groups``.  ``None`` for artifacts built without journaling.
+    journal: Optional[list] = None
+    #: Statement groups referenced by journal clause events, by index.
+    group_table: list = field(default_factory=list)
+    #: The checker options that produced this artifact (splice precondition).
+    compile_options: dict = field(default_factory=dict)
+    #: ``(function, line) -> (low_bits, signed)`` narrowing plans actually
+    #: applied during the compile; a replay must prove these identical for
+    #: every unchanged function before reusing the encoding.
+    narrowing_plans: dict = field(default_factory=dict)
+    #: Key of the base artifact this one was warm-compiled from (``None``
+    #: for cold compiles) plus the fraction of statements re-encoded.
+    spliced_from: Optional[str] = None
+    impact_fraction: Optional[float] = None
+    #: Round-trajectory cache of the abstract interpretation that narrowed
+    #: this encoding (:class:`repro.analysis.incremental.AnalysisCache`);
+    #: seeds the incremental re-analysis of later program versions.
+    analysis_cache: Optional[object] = None
 
     # ------------------------------------------------------------ statistics
 

@@ -228,59 +228,104 @@ def backward_slice_lines(
     for name, function in program.functions.items():
         collect(function.body, name, ())
 
-    def qualify(names: set[str], function: str) -> set[tuple[Optional[str], str]]:
+    def qualify(names: set[str], function: str) -> frozenset:
         scope = locals_of.get(function, set())
-        return {(function if name in scope else None, name) for name in names}
+        return frozenset((function if name in scope else None, name) for name in names)
 
-    relevant_vars: set[tuple[Optional[str], str]] = set()
-    for name in criterion_variables or ():
-        # Explicit criterion names are matched in every scope they occur in.
-        relevant_vars.add((None, name))
-        for function, scope in locals_of.items():
-            if name in scope:
-                relevant_vars.add((function, name))
+    # Precompute each record's slice-relevant facts once, plus the indexes
+    # the worklist propagation consults: which records define a qualified
+    # variable, which records call a function, which records sit on a line,
+    # and which Return/Assert/Assume records belong to each function.  The
+    # closure then touches each record and each fact a bounded number of
+    # times instead of rescanning every record per round.
+    count = len(records)
+    rec_line: list[int] = [0] * count
+    rec_uses: list[frozenset] = [frozenset()] * count
+    rec_calls: list[frozenset] = [frozenset()] * count
+    rec_parent_lines: list[tuple[int, ...]] = [()] * count
+    line_records: dict[int, list[int]] = {}
+    line_functions: dict[int, set[str]] = {}
+    def_index: dict[tuple, list[int]] = {}
+    call_index: dict[str, list[int]] = {}
+    fn_exit_records: dict[str, list[int]] = {}
+    for index, (stmt, function, parents) in enumerate(records):
+        rec_line[index] = stmt.line
+        rec_uses[index] = qualify(statement_uses(stmt), function)
+        calls = frozenset(statement_calls(stmt) & defined_functions)
+        rec_calls[index] = calls
+        rec_parent_lines[index] = tuple(parent.line for parent in parents)
+        line_records.setdefault(stmt.line, []).append(index)
+        line_functions.setdefault(stmt.line, set()).add(function)
+        for var in qualify(statement_defs(stmt), function):
+            def_index.setdefault(var, []).append(index)
+        for callee in calls:
+            call_index.setdefault(callee, []).append(index)
+        if isinstance(stmt, (ast.Return, ast.Assert, ast.Assume)):
+            fn_exit_records.setdefault(function, []).append(index)
 
     relevant_lines: set[int] = set()
-    # The entry point's assumptions and returns always matter: they constrain
-    # the test inputs and the observed result.
-    relevant_functions: set[str] = {"main"}
+    relevant_vars: set[tuple[Optional[str], str]] = set()
+    relevant_functions: set[str] = set()
+    functions_with_relevant_lines: set[str] = set()
+    marked = bytearray(count)
+    queue: list[int] = []
 
-    def apply_effects(stmt: ast.Stmt, function: str, parents: tuple[ast.Stmt, ...]) -> None:
-        """Record a statement as relevant: its line, reads, callees, guards."""
-        relevant_lines.add(stmt.line)
-        relevant_vars.update(qualify(statement_uses(stmt), function))
-        relevant_functions.update(statement_calls(stmt) & defined_functions)
-        for parent in parents:  # control dependence: the guards stay
-            relevant_lines.add(parent.line)
-            relevant_vars.update(qualify(statement_uses(parent), function))
-            relevant_functions.update(statement_calls(parent) & defined_functions)
+    def mark(index: int) -> None:
+        if not marked[index]:
+            marked[index] = 1
+            queue.append(index)
 
-    # Seeds: assertions and outputs anywhere, plus main's returns.
-    for stmt, function, parents in records:
+    def add_line(line: int) -> None:
+        if line in relevant_lines:
+            return
+        relevant_lines.add(line)
+        for function in line_functions.get(line, ()):
+            if function not in functions_with_relevant_lines:
+                functions_with_relevant_lines.add(function)
+                # A call site matters as soon as its callee contains a
+                # relevant statement (the call is what executes it).
+                for site in call_index.get(function, ()):
+                    mark(site)
+        for index in line_records.get(line, ()):
+            mark(index)
+
+    def add_var(var: tuple) -> None:
+        if var not in relevant_vars:
+            relevant_vars.add(var)
+            for index in def_index.get(var, ()):
+                mark(index)
+
+    def add_function(function: str) -> None:
+        # A (transitively) called function's returns, assertions and
+        # assumptions constrain what the caller observes.
+        if function not in relevant_functions:
+            relevant_functions.add(function)
+            for index in fn_exit_records.get(function, ()):
+                mark(index)
+
+    for name in criterion_variables or ():
+        # Explicit criterion names are matched in every scope they occur in.
+        add_var((None, name))
+        for function, scope in locals_of.items():
+            if name in scope:
+                add_var((function, name))
+
+    # Seeds: assertions and outputs anywhere, plus the entry point (its
+    # assumptions and returns constrain the test inputs and the result).
+    add_function("main")
+    for index, (stmt, function, parents) in enumerate(records):
         if isinstance(stmt, (ast.Assert, ast.Print)) or (
             isinstance(stmt, ast.Return) and function == "main"
         ):
-            apply_effects(stmt, function, parents)
+            mark(index)
 
-    # Fixed point over the def/use closure.
-    while True:
-        before = (len(relevant_lines), len(relevant_vars), len(relevant_functions))
-        functions_with_relevant_lines = {
-            function for stmt, function, _ in records if stmt.line in relevant_lines
-        }
-        for stmt, function, parents in records:
-            if stmt.line in relevant_lines:
-                apply_effects(stmt, function, parents)
-                continue
-            relevant = bool(qualify(statement_defs(stmt), function) & relevant_vars)
-            if not relevant and function in relevant_functions:
-                relevant = isinstance(stmt, (ast.Return, ast.Assert, ast.Assume))
-            if not relevant:
-                # A call site matters as soon as its callee contains a
-                # relevant statement (the call is what executes it).
-                relevant = bool(statement_calls(stmt) & functions_with_relevant_lines)
-            if relevant:
-                apply_effects(stmt, function, parents)
-        if (len(relevant_lines), len(relevant_vars), len(relevant_functions)) == before:
-            break
+    while queue:
+        index = queue.pop()
+        add_line(rec_line[index])
+        for line in rec_parent_lines[index]:  # control dependence
+            add_line(line)
+        for var in rec_uses[index]:
+            add_var(var)
+        for callee in rec_calls[index]:
+            add_function(callee)
     return relevant_lines

@@ -101,6 +101,68 @@ class FunctionGraph:
         visit(self.entry)
         return list(reversed(order))
 
+    def reversed_view(self) -> "ReversedFunctionGraph":
+        """A view with every edge flipped and the exit as entry.
+
+        Running the forward dataflow solver over the view is a backward
+        analysis of the function (liveness, very-busy expressions): the
+        solver's "input state of a node" becomes the state *after* the
+        node in execution order.
+        """
+        return ReversedFunctionGraph(self)
+
+
+class ReversedFunctionGraph:
+    """Edge-flipped adapter satisfying the solver's graph interface."""
+
+    def __init__(self, graph: FunctionGraph) -> None:
+        self.graph = graph
+        self.nodes = graph.nodes
+        self._out: list[list[Edge]] = [[] for _ in graph.nodes]
+        self._in: list[list[Edge]] = [[] for _ in graph.nodes]
+        for edge in graph.edges:
+            flipped = Edge(
+                source=edge.target, target=edge.source, cond=edge.cond, taken=edge.taken
+            )
+            self._out[flipped.source].append(flipped)
+            self._in[flipped.target].append(flipped)
+
+    @property
+    def entry(self) -> int:
+        return self.graph.exit
+
+    @property
+    def exit(self) -> int:
+        return self.graph.entry
+
+    def successors(self, index: int) -> list[Edge]:
+        return self._out[index]
+
+    def predecessors(self, index: int) -> list[Edge]:
+        return self._in[index]
+
+    def reverse_postorder(self) -> list[int]:
+        seen = [False] * len(self.nodes)
+        order: list[int] = []
+
+        def visit(index: int) -> None:
+            stack = [(index, 0)]
+            seen[index] = True
+            while stack:
+                node, position = stack.pop()
+                succs = self._out[node]
+                if position < len(succs):
+                    stack.append((node, position + 1))
+                    target = succs[position].target
+                    if not seen[target]:
+                        seen[target] = True
+                        stack.append((target, 0))
+                else:
+                    order.append(node)
+
+        visit(self.entry)
+        return list(reversed(order))
+
 
 def build_function_graph(function: ast.Function) -> FunctionGraph:
     """Build the statement-level CFG of one function."""

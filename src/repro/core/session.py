@@ -90,6 +90,7 @@ class SessionStats:
     """Counters proving the compile-once contract (used by the benchmarks)."""
 
     encodings_built: int = 0
+    encodings_spliced: int = 0
     tests_localized: int = 0
     maxsat_calls: int = 0
     sat_calls: int = 0
@@ -121,6 +122,7 @@ class LocalizationSession:
         warm_start: bool = True,
         analysis_narrowing: bool = True,
         static_pruning: bool = True,
+        base_artifact: Optional[CompiledProgram] = None,
     ) -> None:
         self.program = program
         self.width = width
@@ -133,6 +135,9 @@ class LocalizationSession:
         self.warm_start = warm_start
         self.analysis_narrowing = analysis_narrowing
         self.static_pruning = static_pruning
+        #: Optional prior-version artifact to splice the encoding from
+        #: instead of compiling cold; a declined splice falls back silently.
+        self.base_artifact = base_artifact
         self.stats = SessionStats()
         #: Solver-effort profile of the most recent :meth:`localize` call
         #: (the innermost engine layer's deltas), for per-request reporting.
@@ -209,6 +214,7 @@ class LocalizationSession:
         session.warm_start = warm_start
         session.analysis_narrowing = True
         session.static_pruning = static_pruning
+        session.base_artifact = None
         session.stats = SessionStats()
         session.last_request_profile = {}
         session._compiled = compiled
@@ -221,17 +227,36 @@ class LocalizationSession:
 
     @property
     def compiled(self) -> CompiledProgram:
-        """The whole-program encoding, built on first use and then reused."""
+        """The whole-program encoding, built on first use and then reused.
+
+        With a ``base_artifact`` the build is warm: the prior version's
+        emission journal is spliced (unchanged functions replayed, impacted
+        ones re-encoded) and falls back to a cold compile when the diff is
+        not spliceable.  Warm or cold, the encoding is byte-equivalent.
+        """
         if self._compiled is None:
-            checker = BoundedModelChecker(
-                self.program,
+            checker_kwargs = dict(
                 width=self.width,
                 unwind=self.unwind,
                 group_statements=True,
                 hard_functions=self.hard_functions,
                 analysis_narrowing=self.analysis_narrowing,
             )
-            self._compiled = checker.compile_program(entry=self.entry)
+            if self.base_artifact is not None:
+                from repro.bmc.splice import splice_compile
+
+                # A declined splice leaves its checker's encoder state
+                # dirty, so the cold fallback builds a fresh one.
+                self._compiled = splice_compile(
+                    self.base_artifact,
+                    BoundedModelChecker(self.program, **checker_kwargs),
+                    entry=self.entry,
+                )
+                if self._compiled is not None:
+                    self.stats.encodings_spliced += 1
+            if self._compiled is None:
+                checker = BoundedModelChecker(self.program, **checker_kwargs)
+                self._compiled = checker.compile_program(entry=self.entry)
             self.stats.encodings_built += 1
         return self._compiled
 

@@ -110,12 +110,12 @@ class CircuitBuilder:
             context.gate_hits += 1
             return cached
         out = context.new_var()
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_AND, a, b, out, 3)
         context.emit_gate([-a, -b, out])
         context.emit_gate([a, -out])
         context.emit_gate([b, -out])
-        self._gate_cache[key] = out
-        context.gates_emitted += 1
-        context.observe_gate(_OP_AND, a, b, out)
         return out
 
     def bit_or(self, a: int, b: int) -> int:
@@ -151,13 +151,13 @@ class CircuitBuilder:
             context.gate_hits += 1
             return -cached if sign else cached
         out = context.new_var()
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_XOR, pa, pb, out, 4)
         context.emit_gate([-pa, -pb, -out])
         context.emit_gate([pa, pb, -out])
         context.emit_gate([-pa, pb, out])
         context.emit_gate([pa, -pb, out])
-        self._gate_cache[key] = out
-        context.gates_emitted += 1
-        context.observe_gate(_OP_XOR, pa, pb, out)
         return -out if sign else out
 
     def bit_and_many(self, lits: Sequence[int]) -> int:
@@ -210,13 +210,13 @@ class CircuitBuilder:
             context.gate_hits += 1
             return cached
         out = context.new_var()
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_ITE, cond * (1 << 32) + then_lit, else_lit, out, 4)
         context.emit_gate([-cond, -then_lit, out])
         context.emit_gate([-cond, then_lit, -out])
         context.emit_gate([cond, -else_lit, out])
         context.emit_gate([cond, else_lit, -out])
-        self._gate_cache[key] = out
-        context.gates_emitted += 1
-        context.observe_gate(_OP_ITE, cond * (1 << 32) + then_lit, else_lit, out)
         return out
 
     def bit_equal(self, a: int, b: int) -> int:
@@ -264,6 +264,9 @@ class CircuitBuilder:
             context.gate_hits += 1
             return -cached if sign else cached
         out = context.new_var()
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_XOR3, pa * (1 << 32) + pb, pc, out, 8)
         context.emit_gate([pa, pb, pc, -out])
         context.emit_gate([pa, -pb, -pc, -out])
         context.emit_gate([-pa, pb, -pc, -out])
@@ -272,9 +275,6 @@ class CircuitBuilder:
         context.emit_gate([-pa, pb, pc, out])
         context.emit_gate([pa, -pb, pc, out])
         context.emit_gate([pa, pb, -pc, out])
-        self._gate_cache[key] = out
-        context.gates_emitted += 1
-        context.observe_gate(_OP_XOR3, pa * (1 << 32) + pb, pc, out)
         return -out if sign else out
 
     def bit_majority(self, a: int, b: int, c: int) -> int:
@@ -310,15 +310,15 @@ class CircuitBuilder:
             context.gate_hits += 1
             return -cached if sign else cached
         out = context.new_var()
+        self._gate_cache[key] = out
+        context.gates_emitted += 1
+        context.observe_gate(_OP_MAJ, pa * (1 << 32) + pb, pc, out, 6)
         context.emit_gate([-pa, -pb, out])
         context.emit_gate([-pa, -pc, out])
         context.emit_gate([-pb, -pc, out])
         context.emit_gate([pa, pb, -out])
         context.emit_gate([pa, pc, -out])
         context.emit_gate([pb, pc, -out])
-        self._gate_cache[key] = out
-        context.gates_emitted += 1
-        context.observe_gate(_OP_MAJ, pa * (1 << 32) + pb, pc, out)
         return -out if sign else out
 
     def force_true(self, lit: int) -> None:

@@ -64,12 +64,55 @@ class EncodingContext:
         # Rolling FNV-1a hash over the canonical gate keys: a structural
         # signature of the circuit, used to key cross-test core archives.
         self._sig = 0xCBF29CE484222325
+        # Emission journal (None = off).  When enabled, every variable
+        # allocation, clause emission, gate-cache insertion and group
+        # creation is appended as a compact event tuple, in emission order.
+        # The journal is what lets :mod:`repro.bmc.splice` replay this exact
+        # encoding against a later program version, re-encoding only the
+        # changed regions.  Clause events reference the *same* list objects
+        # held in ``hard``/``groups``, so pickling an artifact stores each
+        # clause once.
+        self.journal: Optional[list[tuple]] = None
+        self.group_table: list[StatementGroup] = []
+        self._group_ids: dict[StatementGroup, int] = {}
+        self._pending_vars = 0
+
+    # -------------------------------------------------------------- journal
+
+    def begin_journal(self) -> None:
+        """Start recording the emission journal (must precede any emission)."""
+        self.journal = []
+        self.group_table = []
+        self._group_ids = {}
+        self._pending_vars = 0
+
+    def _flush_vars(self) -> None:
+        if self._pending_vars:
+            self.journal.append(("v", self._pending_vars))
+            self._pending_vars = 0
+
+    def record(self, event: tuple) -> None:
+        """Append a caller-defined event (no-op when the journal is off)."""
+        if self.journal is not None:
+            self._flush_vars()
+            self.journal.append(event)
+
+    def group_id(self, group: StatementGroup) -> int:
+        """Index of ``group`` in the journal's group table (registering it)."""
+        index = self._group_ids.get(group)
+        if index is None:
+            index = len(self.group_table)
+            self._group_ids[group] = index
+            self.group_table.append(group)
+        return index
 
     # ------------------------------------------------------------ variables
 
     def new_var(self) -> int:
         """Allocate a fresh CNF variable."""
         self.num_vars += 1
+        if self.journal is not None:
+            self._pending_vars += 1
         return self.num_vars
 
     @property
@@ -78,6 +121,11 @@ class EncodingContext:
         if self._true_lit is None:
             self._true_lit = self.new_var()
             self.hard.append([self._true_lit])
+            if self.journal is not None:
+                # The variable is owned by the "t" event (replay allocates
+                # it when setting up the constant), not by a "v" run.
+                self._pending_vars -= 1
+                self.record(("t", self._true_lit))
         return self._true_lit
 
     # -------------------------------------------------------------- clauses
@@ -86,23 +134,50 @@ class EncodingContext:
         """Emit a clause into the hard set or the active statement group."""
         if self._current is None:
             self.hard.append(clause)
+            if self.journal is not None:
+                self._flush_vars()
+                self.journal.append(("c", -1, clause))
         else:
             self.groups.setdefault(self._current, []).append(clause)
+            if self.journal is not None:
+                self._flush_vars()
+                self.journal.append(("c", self.group_id(self._current), clause))
 
     def emit_hard(self, clause: list[int]) -> None:
         """Emit a clause into the hard set regardless of the active group."""
         self.hard.append(clause)
+        if self.journal is not None:
+            self._flush_vars()
+            self.journal.append(("c", -1, clause))
 
     def emit_gate(self, clause: list[int]) -> None:
         """Emit one clause of a (total) gate definition into the hard set."""
         self.hard.append(clause)
+        if self.journal is not None:
+            self._flush_vars()
+            self.journal.append(("c", -1, clause))
 
-    def observe_gate(self, op: int, a: int, b: int, out: int) -> None:
-        """Fold one canonical gate key into the structural signature."""
+    def observe_gate(self, op: int, a: int, b: int, out: int, nclauses: int) -> None:
+        """Fold one canonical gate key into the structural signature.
+
+        Called *before* the gate's ``nclauses`` definition clauses are
+        emitted, with ``out`` the variable allocated immediately beforehand.
+        The journal excludes ``out`` from the pending "v" run (the "g" event
+        owns it) and records the clause count — that is what lets a replay
+        elide the whole insertion when the remapped key hits a live gate
+        cache, exactly as a cold encode of the new version would have.
+        """
         sig = self._sig
         for word in (op, a, b, out):
             sig = ((sig ^ (word & 0xFFFFFFFF)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
         self._sig = sig
+        if self.journal is not None:
+            # The canonical (op, a, b) key is exactly the gate-cache key the
+            # CircuitBuilder just inserted; recording it lets a replay
+            # rebuild the cache (and the signature) under a variable remap.
+            self._pending_vars -= 1
+            self._flush_vars()
+            self.journal.append(("g", op, a, b, out, nclauses))
 
     @property
     def gate_signature(self) -> str:
@@ -116,6 +191,11 @@ class EncodingContext:
         self._current = group
         if group is not None:
             self.groups.setdefault(group, [])
+            if self.journal is not None and group not in self._group_ids:
+                # Register the (possibly empty) group: cold compiles create
+                # an entry even when no clause lands in it, and the soft
+                # selector set must be identical on replay.
+                self.record(("grp", self.group_id(group)))
         try:
             yield
         finally:

@@ -133,11 +133,19 @@ class Client:
         program: str,
         name: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
+        base_artifact: Optional[str] = None,
     ) -> dict:
         merged = dict(options or {})
         if name is not None:
             merged["name"] = name
-        return self.request({"op": "compile", "program": program, "options": merged})
+        payload: dict[str, Any] = {
+            "op": "compile",
+            "program": program,
+            "options": merged,
+        }
+        if base_artifact is not None:
+            payload["base_artifact"] = base_artifact
+        return self.request(payload)
 
     def localize(
         self,

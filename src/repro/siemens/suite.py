@@ -219,6 +219,17 @@ class LargeBenchmarkResult:
     clauses_pruned: int = 0
     #: High bits pinned by narrowing plans across all written values.
     narrowed_vars: int = 0
+    #: Whole-program encode time of the faulty version from scratch.
+    encode_time_cold: float = 0.0
+    #: Whole-program encode time splicing the reference version's journal
+    #: (the faulty version differs by the seeded patch only); equals a cold
+    #: fallback when the splice declined (``warm_spliced`` False).
+    encode_time_warm: float = 0.0
+    #: Whether the warm encode actually spliced (False = declined, cold ran).
+    warm_spliced: bool = False
+    #: Fraction of journal groups the change-impact pass re-encoded on the
+    #: warm path (0.0 = everything replayed; None-like 1.0 when declined).
+    impact_fraction: float = 1.0
 
 
 def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkResult:
@@ -278,6 +289,40 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
         analysis_narrowing=False,
     ).trace(test, spec)
     result.clauses_pruned = unnarrowed.num_clauses - reduced.num_clauses
+
+    # Incremental cross-version encode: the unpatched reference program
+    # stands in for the previously stored artifact, the faulty version for
+    # the new compile — the Table 3 analogue of re-localizing after an edit.
+    from repro.bmc import BoundedModelChecker
+    from repro.bmc.splice import splice_compile
+
+    reference_compiled = BoundedModelChecker(
+        benchmark.reference_program(), group_statements=True
+    ).compile_program()
+    encode_started = time.perf_counter()
+    cold_compiled = BoundedModelChecker(
+        faulty, group_statements=True
+    ).compile_program()
+    result.encode_time_cold = time.perf_counter() - encode_started
+    encode_started = time.perf_counter()
+    warm_compiled = splice_compile(
+        reference_compiled,
+        BoundedModelChecker(faulty, group_statements=True),
+        base_key=f"{benchmark.name}-reference",
+    )
+    if warm_compiled is None:
+        # Declined: the honest warm number is decline-check plus cold run.
+        warm_compiled = BoundedModelChecker(
+            faulty, group_statements=True
+        ).compile_program()
+    else:
+        result.warm_spliced = True
+        result.impact_fraction = warm_compiled.impact_fraction
+    result.encode_time_warm = time.perf_counter() - encode_started
+    if warm_compiled.signature != cold_compiled.signature:
+        raise AssertionError(
+            f"{benchmark.name}: warm encode diverged from cold"
+        )
 
     localizer = BugAssistLocalizer(faulty, mode="trace", max_candidates=max_candidates)
     report = localizer.localize_trace(reduced, program_name=benchmark.name)

@@ -1,0 +1,173 @@
+"""Change-impact analysis: canonical hashes, fingerprint diffs, closures.
+
+The edge cases the ISSUE names explicitly:
+
+* renamed-but-identical functions are recognized via the alpha-renamed
+  body hash (including recursive functions, whose self-calls canonicalize
+  to a placeholder);
+* a changed global initializer marks even "unchanged" functions that touch
+  it as analysis-impacted;
+* a signature (interface) change ripples through call summaries: callers
+  are encoding-impacted, transitive callees analysis-impacted.
+
+Plus the properties the splice engine relies on: hashes are line-number
+free, and line maps recover the positional correspondence for shifted but
+structurally identical bodies.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.impact import (
+    build_line_map,
+    compute_impact,
+    diff_fingerprints,
+    fingerprint_program,
+    function_signature,
+    program_line_map,
+)
+from repro.lang import parse_program
+
+
+def _parse(source: str, name: str = "prog"):
+    return parse_program(textwrap.dedent(source), name=name)
+
+
+BASE = """\
+int limit = 10;
+int scale(int x) {
+    return x * 2;
+}
+int clamp(int x) {
+    if (x > limit) {
+        return limit;
+    }
+    return x;
+}
+int main(int a) {
+    int s = scale(a);
+    return clamp(s);
+}
+"""
+
+
+def test_identical_programs_have_identical_fingerprints():
+    left = fingerprint_program(_parse(BASE))
+    right = fingerprint_program(_parse(BASE, name="other-name"))
+    changes = diff_fingerprints(left, right)
+    assert changes.is_identical
+    assert left.function_hashes() == right.function_hashes()
+
+
+def test_hashes_are_line_number_free():
+    shifted = "\n\n\n" + BASE  # everything moves three lines down
+    base_fp = fingerprint_program(_parse(BASE))
+    new_program = _parse(shifted)
+    new_fp = fingerprint_program(new_program)
+    assert diff_fingerprints(base_fp, new_fp).is_identical
+    mapping = program_line_map(base_fp, new_program)
+    assert mapping is not None
+    # Every mapped statement moved exactly three lines.
+    assert mapping and all(new == old + 3 for old, new in mapping.items())
+
+
+def test_changed_function_is_detected_and_closed_over_callers():
+    changed = BASE.replace("return x * 2;", "return x * 3;")
+    base_fp = fingerprint_program(_parse(BASE))
+    new_program = _parse(changed)
+    changes = diff_fingerprints(base_fp, fingerprint_program(new_program))
+    assert changes.changed == ("scale",)
+    impact = compute_impact(new_program, changes)
+    assert impact.changed == {"scale"}
+    # main calls scale, so its inlined subtree differs; clamp does not.
+    assert impact.encoding_impacted == {"scale", "main"}
+    assert "clamp" not in impact.encoding_impacted
+    assert 0.0 < impact.impact_fraction < 1.0
+
+
+def test_renamed_but_identical_function_is_recognized():
+    renamed = BASE.replace("scale", "rescale")
+    base_fp = fingerprint_program(_parse(BASE))
+    new_fp = fingerprint_program(_parse(renamed))
+    changes = diff_fingerprints(base_fp, new_fp)
+    assert changes.renamed == (("scale", "rescale"),)
+    assert changes.added == ("rescale",)
+    assert changes.removed == ("scale",)
+    # The caller textually changed (it calls the new name).
+    assert "main" in changes.changed
+
+
+def test_recursive_function_survives_rename_detection():
+    source = """\
+    int fact(int n) {
+        if (n <= 1) {
+            return 1;
+        }
+        return n * fact(n - 1);
+    }
+    int main(int a) {
+        return fact(a);
+    }
+    """
+    renamed = source.replace("fact", "factorial")
+    base_fp = fingerprint_program(_parse(source))
+    new_fp = fingerprint_program(_parse(renamed))
+    changes = diff_fingerprints(base_fp, new_fp)
+    assert ("fact", "factorial") in changes.renamed
+
+
+def test_changed_global_marks_touching_functions_analysis_impacted():
+    changed = BASE.replace("int limit = 10;", "int limit = 12;")
+    base_fp = fingerprint_program(_parse(BASE))
+    new_program = _parse(changed)
+    changes = diff_fingerprints(base_fp, fingerprint_program(new_program))
+    assert changes.changed == ()  # no function body changed...
+    assert changes.changed_globals == ("limit",)
+    impact = compute_impact(new_program, changes)
+    # ...yet clamp reads the global, so its fixpoint inputs differ.
+    assert "clamp" in impact.analysis_impacted
+    # Nothing needs *re-encoding* structurally — the splice layer treats a
+    # changed-global diff as a full decline separately.
+    assert impact.changed == set()
+
+
+def test_signature_change_ripples_through_call_summaries():
+    changed = BASE.replace("int scale(int x) {", "int scale(int x, int y) {").replace(
+        "return x * 2;", "return x * 2 + y;"
+    ).replace("scale(a)", "scale(a, 1)")
+    base_fp = fingerprint_program(_parse(BASE))
+    new_program = _parse(changed)
+    changes = diff_fingerprints(base_fp, fingerprint_program(new_program))
+    assert "scale" in changes.changed
+    assert "main" in changes.changed  # the call site changed too
+    impact = compute_impact(new_program, changes)
+    assert {"scale", "main"} <= impact.encoding_impacted
+    # Analysis impact flows into callees as well: clamp receives arguments
+    # computed from the changed scale result.
+    assert "clamp" in impact.analysis_impacted
+
+
+def test_arity_is_part_of_the_hash_even_with_unused_parameter():
+    left = function_signature(_parse("int f(int a) { return 1; }\n").function("f"))
+    right = function_signature(
+        _parse("int f(int a, int b) { return 1; }\n").function("f")
+    )
+    assert left.exact_hash != right.exact_hash
+    assert left.body_hash != right.body_hash
+
+
+def test_free_globals_and_calls_are_summarized():
+    sig = function_signature(_parse(BASE).function("clamp"))
+    assert sig.free_globals == ("limit",)
+    sig_main = function_signature(_parse(BASE).function("main"))
+    assert set(sig_main.calls) == {"scale", "clamp"}
+
+
+def test_build_line_map_rejects_structural_mismatch():
+    fn_a = _parse(BASE).function("clamp")
+    fn_b = _parse(BASE.replace("return limit;", "return limit;\n        return limit;")).function(
+        "clamp"
+    )
+    sig_a = function_signature(fn_a)
+    assert build_line_map(sig_a.line_sequence, fn_b) is None

@@ -163,6 +163,106 @@ class TestArtifactStore:
         assert source == "compiled"
         assert fresh.stats.corrupt_recovered == 1
 
+    def test_stale_format_spill_swept_at_startup(self, tmp_path):
+        """A format bump invalidates old spills in one startup pass."""
+        store = ArtifactStore(root=tmp_path)
+        key, _, _ = store.get_or_compile(CLASSIFY, {"name": "classify"})
+        spill = tmp_path / f"{key}.artifact"
+        data = spill.read_bytes()
+        magic = len(b"repro-artifact\x00")
+        stale = (
+            data[:magic]
+            + (ARTIFACT_FORMAT_VERSION - 1).to_bytes(4, "big")
+            + data[magic + 4 :]
+        )
+        spill.write_bytes(stale)
+        fresh = ArtifactStore(root=tmp_path)
+        assert fresh.stats.stale_swept == 1
+        assert not spill.exists()
+        # The stale spill never reaches the unpickler: the next request is
+        # a clean miss-and-recompile, not a corrupt recovery.
+        _, _, source = fresh.get_or_compile(CLASSIFY, {"name": "classify"})
+        assert source == "compiled"
+        assert fresh.stats.corrupt_recovered == 0
+        assert fresh.stats.compiles == 1
+
+
+CLASSIFY_FIXED = CLASSIFY.replace("x > 7", "x > 10")
+
+
+class TestWarmCompile:
+    def test_nearest_ancestor_is_spliced(self):
+        store = ArtifactStore()
+        base_key, _, _ = store.get_or_compile(CLASSIFY, {"name": "classify"})
+        key, compiled, source = store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify"}
+        )
+        assert key != base_key
+        assert source == "warm"
+        assert compiled.spliced_from == base_key
+        assert 0.0 < compiled.impact_fraction < 1.0
+        assert store.stats.warm_compiles == 1
+        # Byte-equivalent encoding: a store with no ancestor compiles the
+        # same program cold and lands on the same CNF signature.
+        cold_store = ArtifactStore()
+        _, cold, cold_source = cold_store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify"}
+        )
+        assert cold_source == "compiled"
+        assert cold.signature == compiled.signature
+        assert cold.num_clauses == compiled.num_clauses
+
+    def test_explicit_base_artifact_hint(self):
+        store = ArtifactStore()
+        base_key, _, _ = store.get_or_compile(CLASSIFY, {"name": "classify"})
+        _, compiled, source = store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify"}, base_artifact=base_key
+        )
+        assert source == "warm"
+        assert compiled.spliced_from == base_key
+
+    def test_unknown_hint_falls_back_to_cold(self):
+        store = ArtifactStore()
+        store.get_or_compile(CLASSIFY, {"name": "classify"})
+        _, compiled, source = store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify"}, base_artifact="no-such-key"
+        )
+        assert source == "compiled"
+        assert compiled.spliced_from is None
+
+    def test_dissimilar_program_compiles_cold(self):
+        store = ArtifactStore()
+        store.get_or_compile(CLASSIFY, {"name": "classify"})
+        _, compiled, source = store.get_or_compile(OTHER, {"name": "other"})
+        assert source == "compiled"
+        assert store.stats.warm_compiles == 0
+
+    def test_option_mismatch_is_not_a_splice_base(self):
+        store = ArtifactStore()
+        store.get_or_compile(CLASSIFY, {"name": "classify", "unwind": 8})
+        _, compiled, source = store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify", "unwind": 16}
+        )
+        assert source == "compiled"
+        assert compiled.spliced_from is None
+
+    def test_evicted_memory_only_base_is_unindexed(self):
+        store = ArtifactStore(root=None, max_memory_entries=1)
+        store.get_or_compile(CLASSIFY, {"name": "classify"})
+        store.get_or_compile(OTHER, {"name": "other"})  # evicts the base
+        _, _, source = store.get_or_compile(CLASSIFY_FIXED, {"name": "classify"})
+        assert source == "compiled"
+
+    def test_spilled_base_survives_eviction_as_ancestor(self, tmp_path):
+        store = ArtifactStore(root=tmp_path, max_memory_entries=1)
+        base_key, _, _ = store.get_or_compile(CLASSIFY, {"name": "classify"})
+        store.get_or_compile(OTHER, {"name": "other"})  # evicts to disk
+        _, compiled, source = store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify"}
+        )
+        assert source == "warm"
+        assert compiled.spliced_from == base_key
+
 
 class TestResultCache:
     def test_lru_bound_and_stats(self):
