@@ -22,12 +22,13 @@ Three front doors are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.bmc.compiled import CompiledProgram
 from repro.encoding.circuits import Bits, CircuitBuilder, simplifier_name
-from repro.encoding.context import EncodingContext, StatementGroup
+from repro.encoding.context import ArenaEncodingContext, StatementGroup
 from repro.encoding.symbolic import ExpressionEncoder
 from repro.encoding.trace import TraceFormula, TraceStep
 from repro.lang import ast
@@ -173,7 +174,7 @@ class BoundedModelChecker:
         # artifact must share them too (copying would double the pickle and
         # break the sharing the replay relies on); clause lists are treated
         # as immutable by every consumer.
-        return CompiledProgram(
+        compiled = CompiledProgram(
             program_name=self.program.name,
             entry=entry,
             width=self.width,
@@ -201,6 +202,16 @@ class BoundedModelChecker:
             narrowing_plans=self._narrowing_plan_table(),
             analysis_cache=analysis.cache if analysis is not None else None,
         )
+        from repro.bmc.compiled import _set_encode_profile
+
+        _set_encode_profile(
+            compiled,
+            {
+                "encode_backend": getattr(context, "encode_backend", "python"),
+                "encode_phases": dict(getattr(context, "encode_phases", {})),
+            },
+        )
+        return compiled
 
     def encode_program_formula(
         self,
@@ -246,7 +257,7 @@ class BoundedModelChecker:
         if call.name == "nondet":
             bits = builder.fresh()
             self._nondet_bits.append(bits)
-            if context.journal is not None:
+            if context.journaling:
                 context.record(("nd", bits))
             return bits
         if len(self._frames) > self.max_call_depth:
@@ -264,7 +275,7 @@ class BoundedModelChecker:
             replayed = self._splice_call_hook(call.name, frame, guard)
             if replayed is not None:
                 return replayed
-        if context.journal is not None:
+        if context.journaling:
             # Call-enter: the full interface the inlined subtree depends on.
             # A journal replay re-encodes the subtree of a changed callee
             # from exactly these bits (everything else about the callee's
@@ -285,7 +296,7 @@ class BoundedModelChecker:
         result = frame.return_value
         if result is None:
             result = builder.const(0)
-        if context.journal is not None:
+        if context.journaling:
             # Call-exit: the bits the caller observes (result + globals).
             context.record(("cx", call.name, result, self._globals_snapshot()))
         return result
@@ -372,7 +383,7 @@ class BoundedModelChecker:
             if plan is not None:
                 low_bits, signed = plan
                 self._narrowed_vars += self.width - low_bits
-                if self._context.journal is not None:
+                if self._context.journaling:
                     self._context.record(("nw", self.width - low_bits))
                 return builder.fresh_narrowed(low_bits, signed)
         return builder.fresh()
@@ -381,7 +392,7 @@ class BoundedModelChecker:
         self, entry: str, journal: bool = False
     ) -> tuple[dict[str, Bits], Optional[Bits]]:
         """Encode the whole program; returns (input bit-vectors, return bits)."""
-        self._context = EncodingContext(self.width)
+        self._context = ArenaEncodingContext(self.width)
         if journal:
             self._context.begin_journal()
         self._builder = CircuitBuilder(self._context, simplify=self.simplify)
@@ -393,11 +404,15 @@ class BoundedModelChecker:
         self._steps: list[TraceStep] = []
         self._narrowed_vars = 0
         self._write_intervals: dict[tuple[str, int], object] = {}
+        phases = self._context.encode_phases
+        started = time.perf_counter()
         if self.analysis_narrowing:
             analysis = self._analysis_for(entry)
             if analysis is not None and not analysis.has_errors:
                 self._write_intervals = analysis.flow_write_intervals
+        phases["analysis"] = time.perf_counter() - started
 
+        started = time.perf_counter()
         builder = self._builder
         self._current_guard = builder.true
         self._initialize_globals()
@@ -408,11 +423,13 @@ class BoundedModelChecker:
             bits = builder.fresh()
             frame.variables[param] = bits
             input_bits[param] = bits
-            if self._context.journal is not None:
+            if self._context.journaling:
                 self._context.record(("in", param, bits))
         self._run_function(function, frame, builder.true)
-        if self._context.journal is not None:
+        if self._context.journaling:
             self._context.record(("ret", frame.return_value))
+        phases["gates"] = time.perf_counter() - started
+        self._context.finalize()
         return input_bits, frame.return_value
 
     def _initialize_globals(self) -> None:
@@ -467,7 +484,7 @@ class BoundedModelChecker:
     def _record(self, stmt: ast.Stmt, kind: str) -> None:
         function = self._frames[-1].function
         self._steps.append(TraceStep(line=stmt.line, function=function, kind=kind))
-        if self._context.journal is not None:
+        if self._context.journaling:
             self._context.record(("s", stmt.line, function, kind))
 
     def _exec(self, stmt: ast.Stmt, guard: int) -> None:
@@ -543,7 +560,7 @@ class BoundedModelChecker:
                 violation = builder.bit_and(self._effective(guard), -condition)
             if builder._const_value(violation) is not False:
                 self._violations.append((stmt.line, violation))
-                if self._context.journal is not None:
+                if self._context.journaling:
                     self._context.record(("viol", stmt.line, violation))
             self._record(stmt, "assert")
         elif isinstance(stmt, ast.Assume):

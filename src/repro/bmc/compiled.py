@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import weakref
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -138,6 +139,19 @@ def loads_artifact(data: bytes) -> "CompiledProgram":
     return compiled
 
 
+#: Per-instance encode profile (emission backend + phase wall times), keyed
+#: by object identity and *never* pickled: timings differ run to run and
+#: backend to backend, while artifact bytes must stay bit-identical whichever
+#: emission core filled the buffers.
+_ENCODE_PROFILE_REGISTRY: dict[int, dict] = {}
+
+
+def _set_encode_profile(compiled: "CompiledProgram", profile: dict) -> None:
+    key = id(compiled)
+    _ENCODE_PROFILE_REGISTRY[key] = profile
+    weakref.finalize(compiled, _ENCODE_PROFILE_REGISTRY.pop, key, None)
+
+
 @dataclass
 class CompiledProgram:
     """The invariant whole-program CNF of one entry function.
@@ -204,6 +218,13 @@ class CompiledProgram:
     analysis_cache: Optional[object] = None
 
     # ------------------------------------------------------------ statistics
+
+    def encode_profile(self) -> dict:
+        """Emission backend and per-phase wall times of the compile that
+        produced this artifact: ``{"encode_backend": ..., "encode_phases":
+        {phase: seconds}}``.  Empty for unpickled or spliced artifacts —
+        timings are observability data, not content, and never serialize."""
+        return _ENCODE_PROFILE_REGISTRY.get(id(self), {})
 
     @property
     def num_clauses(self) -> int:

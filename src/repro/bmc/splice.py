@@ -136,6 +136,7 @@ def splice_compile(
     entry: str = "main",
     base_key: Optional[str] = None,
     new_fingerprint: Optional[ProgramFingerprint] = None,
+    outcome: Optional[dict] = None,
 ) -> Optional[CompiledProgram]:
     """Compile ``checker.program`` by replaying ``base``'s journal.
 
@@ -145,12 +146,22 @@ def splice_compile(
     is recorded as ``spliced_from`` provenance when given.  Callers that
     already fingerprinted the new program (the store does, for its
     nearest-ancestor lookup) pass it as ``new_fingerprint`` to avoid a
-    second canonicalization walk.
+    second canonicalization walk.  ``outcome``, when given, receives
+    ``declined`` and ``declined_early`` flags: an early decline failed a
+    precondition before any replay or analysis work, a late one gave up
+    mid-replay (and paid for the partial replay).
     """
     try:
-        return _splice(base, checker, entry, base_key, new_fingerprint)
+        result = _splice(base, checker, entry, base_key, new_fingerprint)
     except SpliceDecline:
+        if outcome is not None:
+            outcome["declined"] = True
+            outcome["declined_early"] = False
         return None
+    if result is None and outcome is not None:
+        outcome["declined"] = True
+        outcome["declined_early"] = True
+    return result
 
 
 def _splice(
@@ -249,11 +260,11 @@ def _splice(
             continue
         mapped_line = line_map.get(line)
         if mapped_line is None:
-            return None
+            raise SpliceDecline
         base_side[(fn, mapped_line)] = plan
     new_side = {k: p for k, p in new_plans.items() if k[0] not in skip_new}
     if base_side != new_side:
-        return None
+        raise SpliceDecline
 
     unchanged = set(program.functions) - region - set(changes.added)
     replay = _Replay(base, checker, region, line_map, unchanged, init_subst)
@@ -709,21 +720,73 @@ class _Replay:
                         event[4],
                         event[5],
                     )
+                    # The mapped key must still be in the builder's canonical
+                    # form (operand order, sign placement) and must not hit
+                    # any constant-folding case the live encoder would have
+                    # reduced away — the replay copies the base key and its
+                    # definition clauses verbatim, so any such divergence
+                    # would produce bytes a cold compile never emits.  A
+                    # region re-encode may legally map recovered gate
+                    # outputs *backwards* (cross-span structure sharing the
+                    # new version unifies), so the map as a whole need not
+                    # be order-preserving; only each key's internal order
+                    # matters, and it is checked here at the point of use.
+                    tl = context.true_lit or 0
                     if op >= 3:  # packed first component: ITE / XOR3 / MAJ
                         first = (key1 + (1 << 31)) >> 32
                         second = key1 - (first << 32)
-                        mf = mu[first]
+                        # A majority key may carry one negative literal in
+                        # front; map sign-preservingly (never index mu with
+                        # a negative, which would silently read the tail).
+                        mf = mu[first] if first > 0 else -mu[-first]
                         ms = mu[second] if second > 0 else -mu[-second]
-                        if not mf or not ms:
+                        m2 = mu[key2] if key2 > 0 else -mu[-key2]
+                        if not mf or not ms or not m2:
                             raise SpliceDecline
+                        if op == 3:  # ITE: cond, then, else
+                            if (
+                                mf == tl
+                                or ms == tl
+                                or ms == -tl
+                                or m2 == tl
+                                or m2 == -tl
+                                or ms == m2
+                                or ms == -m2
+                            ):
+                                raise SpliceDecline
+                        elif op == 4:  # XOR3: ascending positive inputs
+                            if not mf < ms < m2 or mf == tl or ms == tl or m2 == tl:
+                                raise SpliceDecline
+                        else:  # MAJ: value-sorted, <=1 negative in front
+                            if (
+                                not mf < ms < m2
+                                or mf == -ms
+                                or mf == -m2
+                                or mf == tl
+                                or mf == -tl
+                                or ms == tl
+                                or m2 == tl
+                            ):
+                                raise SpliceDecline
                         m1 = mf * (1 << 32) + ms
                     else:
                         m1 = mu[key1] if key1 > 0 else -mu[-key1]
-                        if not m1:
+                        m2 = mu[key2] if key2 > 0 else -mu[-key2]
+                        if not m1 or not m2:
                             raise SpliceDecline
-                    m2 = mu[key2] if key2 > 0 else -mu[-key2]
-                    if not m2:
-                        raise SpliceDecline
+                        if op == 1:  # AND: value-sorted signed literals
+                            if (
+                                not m1 < m2
+                                or m1 == -m2
+                                or m1 == tl
+                                or m1 == -tl
+                                or m2 == tl
+                                or m2 == -tl
+                            ):
+                                raise SpliceDecline
+                        elif not m1 < m2 or m1 == tl or m2 == tl:
+                            # XOR: ascending positive inputs
+                            raise SpliceDecline
                     self.base_cursor += 1
                     cached = gate_cache.get((op, m1, m2))
                     if cached is not None:
@@ -856,24 +919,6 @@ class _Replay:
             index += 1
         context._pending_vars = pending
         context._flush_vars()
-        self._check_monotone()
-
-    def _check_monotone(self) -> None:
-        """Require mu to be a strictly order-preserving (hence injective)
-        partial map — the invariant that makes every operand swap, sign
-        pick and sorted gate key of the base compile come out identically
-        for the mapped variables.  Deferring the check to the end is safe:
-        a violation en route can only produce wrong canonical keys inside
-        this replay's private state, and the whole result is discarded on
-        decline."""
-        if self.mu is None:
-            return
-        last = 0
-        for mapped in self.mu[1:]:
-            if mapped:
-                if mapped <= last:
-                    raise SpliceDecline
-                last = mapped
 
     # -------------------------------------------------------------- regions
 
@@ -1094,7 +1139,7 @@ class _Replay:
             if op in _PACKED_OPS:
                 first = (key1 + (1 << 31)) >> 32
                 second = key1 - (first << 32)
-                mapped_first = mu[first]
+                mapped_first = look(first)
                 mapped_second = look(second)
                 if not mapped_first or not mapped_second:
                     continue

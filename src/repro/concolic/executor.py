@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.encoding.circuits import Bits, CircuitBuilder, simplifier_name
-from repro.encoding.context import EncodingContext, StatementGroup
+from repro.encoding.context import ArenaEncodingContext, StatementGroup
 from repro.encoding.symbolic import ExpressionEncoder, expression_has_effects
 from repro.encoding.trace import TraceFormula, TraceStep
 from repro.lang import ast
@@ -110,7 +110,7 @@ class ConcolicTracer:
         Raises :class:`TraceError` if the test does not actually violate the
         specification (the formula would not be unsatisfiable in that case).
         """
-        self._context = EncodingContext(self.width)
+        self._context = ArenaEncodingContext(self.width)
         self._builder = CircuitBuilder(self._context, simplify=self.simplify)
         self._encoder = ExpressionEncoder(self._builder, self)
         self._steps: list[TraceStep] = []
@@ -200,6 +200,7 @@ class ConcolicTracer:
                     for bits, value in zip(observable_symbolic, expected):
                         self._builder.fix_to_value(bits, value)
 
+        self._context.finalize()
         return TraceFormula.from_context(
             self._context,
             steps=self._steps,

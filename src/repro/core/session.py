@@ -91,6 +91,8 @@ class SessionStats:
 
     encodings_built: int = 0
     encodings_spliced: int = 0
+    splices_declined: int = 0
+    splices_declined_early: int = 0
     tests_localized: int = 0
     maxsat_calls: int = 0
     sat_calls: int = 0
@@ -141,7 +143,7 @@ class LocalizationSession:
         self.stats = SessionStats()
         #: Solver-effort profile of the most recent :meth:`localize` call
         #: (the innermost engine layer's deltas), for per-request reporting.
-        self.last_request_profile: dict[str, int] = {}
+        self.last_request_profile: dict[str, object] = {}
         self._compiled: Optional[CompiledProgram] = None
         self._engine: Optional[MaxSatEngine] = None
         self._closed = False
@@ -247,13 +249,19 @@ class LocalizationSession:
 
                 # A declined splice leaves its checker's encoder state
                 # dirty, so the cold fallback builds a fresh one.
+                outcome: dict = {}
                 self._compiled = splice_compile(
                     self.base_artifact,
                     BoundedModelChecker(self.program, **checker_kwargs),
                     entry=self.entry,
+                    outcome=outcome,
                 )
                 if self._compiled is not None:
                     self.stats.encodings_spliced += 1
+                elif outcome.get("declined"):
+                    self.stats.splices_declined += 1
+                    if outcome.get("declined_early"):
+                        self.stats.splices_declined_early += 1
             if self._compiled is None:
                 checker = BoundedModelChecker(self.program, **checker_kwargs)
                 self._compiled = checker.compile_program(entry=self.entry)
@@ -320,7 +328,13 @@ class LocalizationSession:
             layer_stats = engine.layer_stats()
             report.propagations = layer_stats.propagations
             report.conflicts = layer_stats.conflicts
-            self.last_request_profile = engine.layer_profile()
+            profile = dict(engine.layer_profile())
+            encode_profile = compiled.encode_profile()
+            if encode_profile:
+                profile["encode_backend"] = encode_profile["encode_backend"]
+                for phase, seconds in encode_profile["encode_phases"].items():
+                    profile[f"encode_phase_{phase}"] = round(seconds, 6)
+            self.last_request_profile = profile
         finally:
             engine.pop_layer()
         report.sat_calls = engine.sat_calls - sat_calls_before

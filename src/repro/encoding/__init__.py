@@ -23,6 +23,19 @@ from repro.encoding.circuits import Bits, CircuitBuilder
 from repro.encoding.symbolic import SymbolicState, ExpressionEncoder
 from repro.encoding.trace import TraceFormula, TraceStep
 
+
+def encode_backend() -> str:
+    """Which CNF-emission backend new compiles use (``"c"`` or ``"python"``).
+
+    Controlled by ``REPRO_ENCODE`` (``auto``/``python``/``c``; unset
+    inherits ``REPRO_PROPAGATION``).  Both backends produce bit-identical
+    artifacts — this probe only reports which implementation will run.
+    """
+    from repro.sat import _ccore
+
+    return _ccore.encode_backend()
+
+
 __all__ = [
     "EncodingContext",
     "StatementGroup",
@@ -32,4 +45,5 @@ __all__ = [
     "ExpressionEncoder",
     "TraceFormula",
     "TraceStep",
+    "encode_backend",
 ]

@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 from repro.encoding.context import EncodingContext
 from repro.lang.semantics import to_unsigned
+from repro.sat import _ccore
 
 Bits = tuple[int, ...]
 
@@ -38,6 +39,10 @@ def simplifier_name(simplify: bool) -> str:
     """The benchmark-facing name of the active circuit-encoder configuration."""
     return "gate-hash+const-fold" if simplify else "none"
 
+
+#: Vector lengths the C kernels accept (the multiplier's rows live in
+#: fixed-size C locals); wider vectors use the Python composition.
+_MAX_VECTOR_BITS = 64
 
 #: Opcode tags folded into the structural gate signature.
 _OP_AND = 1
@@ -62,6 +67,19 @@ class CircuitBuilder:
         self.width = context.width
         self.simplify = simplify
         self._gate_cache: dict[tuple[int, int, int], int] = {}
+        # Arena-backed contexts keep the gate cache in their open-addressed
+        # flat table instead of ``_gate_cache`` (the C emission core probes
+        # and fills the same table); list-backed contexts use the dict.
+        self._arena = getattr(context, "arena", None)
+        self._cenc = None
+        if simplify and self._arena is not None:
+            library = _ccore.encode_library()
+            if library is not None:
+                from repro.encoding.cbind import CEncoder
+
+                self._cenc = CEncoder(self._arena, library)
+            if hasattr(context, "encode_backend"):
+                context.encode_backend = "c" if self._cenc is not None else "python"
 
     # ----------------------------------------------------------- bit helpers
 
@@ -85,6 +103,10 @@ class CircuitBuilder:
         return -lit
 
     def bit_and(self, a: int, b: int) -> int:
+        cenc = self._cenc
+        if cenc is not None:
+            self.context.true_lit  # the constant allocates first, as in the folds
+            return cenc.gate(_OP_AND, a, b)
         for first, second in ((a, b), (b, a)):
             value = self._const_value(first)
             if value is True:
@@ -104,6 +126,16 @@ class CircuitBuilder:
             return out
         if a > b:
             a, b = b, a
+        arena = self._arena
+        if arena is not None:
+            out = arena.gate_lookup(_OP_AND, a, b)
+            if out:
+                return out
+            out = context.new_var()
+            arena.gate_insert(
+                _OP_AND, a, b, out, ([-a, -b, out], [a, -out], [b, -out])
+            )
+            return out
         key = (_OP_AND, a, b)
         cached = self._gate_cache.get(key)
         if cached is not None:
@@ -122,6 +154,10 @@ class CircuitBuilder:
         return -self.bit_and(-a, -b)
 
     def bit_xor(self, a: int, b: int) -> int:
+        cenc = self._cenc
+        if cenc is not None:
+            self.context.true_lit
+            return cenc.gate(_OP_XOR, a, b)
         value_a, value_b = self._const_value(a), self._const_value(b)
         if value_a is not None:
             return -b if value_a else b
@@ -145,6 +181,19 @@ class CircuitBuilder:
         pa, pb = abs(a), abs(b)
         if pa > pb:
             pa, pb = pb, pa
+        arena = self._arena
+        if arena is not None:
+            out = arena.gate_lookup(_OP_XOR, pa, pb)
+            if not out:
+                out = context.new_var()
+                arena.gate_insert(
+                    _OP_XOR,
+                    pa,
+                    pb,
+                    out,
+                    ([-pa, -pb, -out], [pa, pb, -out], [-pa, pb, out], [pa, -pb, out]),
+                )
+            return -out if sign else out
         key = (_OP_XOR, pa, pb)
         cached = self._gate_cache.get(key)
         if cached is not None:
@@ -173,6 +222,10 @@ class CircuitBuilder:
         return result
 
     def bit_ite(self, cond: int, then_lit: int, else_lit: int) -> int:
+        cenc = self._cenc
+        if cenc is not None:
+            self.context.true_lit
+            return cenc.gate(_OP_ITE, cond, then_lit, else_lit)
         value = self._const_value(cond)
         if value is True:
             return then_lit
@@ -204,6 +257,26 @@ class CircuitBuilder:
         # ite(!c, t, e) == ite(c, e, t): canonicalize to a positive condition.
         if cond < 0:
             cond, then_lit, else_lit = -cond, else_lit, then_lit
+        arena = self._arena
+        if arena is not None:
+            packed = cond * (1 << 32) + then_lit
+            out = arena.gate_lookup(_OP_ITE, packed, else_lit)
+            if out:
+                return out
+            out = context.new_var()
+            arena.gate_insert(
+                _OP_ITE,
+                packed,
+                else_lit,
+                out,
+                (
+                    [-cond, -then_lit, out],
+                    [-cond, then_lit, -out],
+                    [cond, -else_lit, out],
+                    [cond, else_lit, -out],
+                ),
+            )
+            return out
         key = (_OP_ITE, cond * (1 << 32) + then_lit, else_lit)
         cached = self._gate_cache.get(key)
         if cached is not None:
@@ -232,6 +305,10 @@ class CircuitBuilder:
         """
         if not self.simplify:
             return self.bit_xor(self.bit_xor(a, b), c)
+        cenc = self._cenc
+        if cenc is not None:
+            self.context.true_lit
+            return cenc.gate(_OP_XOR3, a, b, c)
         # Fold constants and cancelling pairs: parity is invariant under
         # removing (x, x) and flips under removing (x, -x) or a true input.
         sign = False
@@ -258,6 +335,29 @@ class CircuitBuilder:
             return -result if sign else result
         pa, pb, pc = reduced
         context = self.context
+        arena = self._arena
+        if arena is not None:
+            packed = pa * (1 << 32) + pb
+            out = arena.gate_lookup(_OP_XOR3, packed, pc)
+            if not out:
+                out = context.new_var()
+                arena.gate_insert(
+                    _OP_XOR3,
+                    packed,
+                    pc,
+                    out,
+                    (
+                        [pa, pb, pc, -out],
+                        [pa, -pb, -pc, -out],
+                        [-pa, pb, -pc, -out],
+                        [-pa, -pb, pc, -out],
+                        [-pa, -pb, -pc, out],
+                        [-pa, pb, pc, out],
+                        [pa, -pb, pc, out],
+                        [pa, pb, -pc, out],
+                    ),
+                )
+            return -out if sign else out
         key = (_OP_XOR3, pa * (1 << 32) + pb, pc)
         cached = self._gate_cache.get(key)
         if cached is not None:
@@ -285,6 +385,10 @@ class CircuitBuilder:
         """
         if not self.simplify:
             return self.bit_or(self.bit_and(a, b), self.bit_and(self.bit_xor(a, b), c))
+        cenc = self._cenc
+        if cenc is not None:
+            self.context.true_lit
+            return cenc.gate(_OP_MAJ, a, b, c)
         for first, second, third in ((a, b, c), (b, c, a), (c, a, b)):
             value = self._const_value(first)
             if value is True:
@@ -304,6 +408,27 @@ class CircuitBuilder:
             lits = [-lit for lit in lits]
         pa, pb, pc = sorted(lits)
         context = self.context
+        arena = self._arena
+        if arena is not None:
+            packed = pa * (1 << 32) + pb
+            out = arena.gate_lookup(_OP_MAJ, packed, pc)
+            if not out:
+                out = context.new_var()
+                arena.gate_insert(
+                    _OP_MAJ,
+                    packed,
+                    pc,
+                    out,
+                    (
+                        [-pa, -pb, out],
+                        [-pa, -pc, out],
+                        [-pb, -pc, out],
+                        [pa, pb, -out],
+                        [pa, pc, -out],
+                        [pb, pc, -out],
+                    ),
+                )
+            return -out if sign else out
         key = (_OP_MAJ, pa * (1 << 32) + pb, pc)
         cached = self._gate_cache.get(key)
         if cached is not None:
@@ -392,6 +517,10 @@ class CircuitBuilder:
 
     def add(self, a: Bits, b: Bits, carry_in: Optional[int] = None) -> Bits:
         assert len(a) == len(b)
+        cenc = self._cenc
+        if cenc is not None and 0 < len(a) <= _MAX_VECTOR_BITS:
+            carry = carry_in if carry_in is not None else self.false
+            return cenc.add(a, b, carry)
         carry = carry_in if carry_in is not None else self.false
         out: list[int] = []
         if self.simplify:
@@ -437,6 +566,10 @@ class CircuitBuilder:
                 # Make the constant the control side: popcount(const) rows of
                 # pure shift-adds instead of a full partial-product array.
                 a, b = b, a
+        cenc = self._cenc
+        if cenc is not None and 0 < width <= _MAX_VECTOR_BITS:
+            self.context.true_lit
+            return cenc.multiply(self.zero_extend(a, width), self.zero_extend(b, width))
         accumulator = self.const(0, width)
         a_ext = self.zero_extend(a, width)
         b_ext = self.zero_extend(b, width)
@@ -488,6 +621,10 @@ class CircuitBuilder:
     # ------------------------------------------------------------ comparison
 
     def equals(self, a: Bits, b: Bits) -> int:
+        cenc = self._cenc
+        if cenc is not None and 0 < len(a) == len(b) <= _MAX_VECTOR_BITS:
+            self.context.true_lit
+            return cenc.equals(a, b)
         bits = [self.bit_equal(bit_a, bit_b) for bit_a, bit_b in zip(a, b)]
         if self.simplify:
             # MSB-first so the AND chain's high-bit prefix — identical across
@@ -498,6 +635,10 @@ class CircuitBuilder:
 
     def unsigned_less(self, a: Bits, b: Bits) -> int:
         """a < b treating the vectors as unsigned integers."""
+        cenc = self._cenc
+        if cenc is not None and 0 < len(a) == len(b) <= _MAX_VECTOR_BITS:
+            self.context.true_lit
+            return cenc.unsigned_less(a, b)
         less = self.false
         if self.simplify:
             # When the bits differ, "less so far" is exactly b's bit;
@@ -527,6 +668,10 @@ class CircuitBuilder:
     # ------------------------------------------------------------- structure
 
     def mux(self, cond: int, then_bits: Bits, else_bits: Bits) -> Bits:
+        cenc = self._cenc
+        if cenc is not None and 0 < len(then_bits) == len(else_bits) <= _MAX_VECTOR_BITS:
+            self.context.true_lit
+            return cenc.mux(cond, then_bits, else_bits)
         return tuple(
             self.bit_ite(cond, then_bit, else_bit)
             for then_bit, else_bit in zip(then_bits, else_bits)

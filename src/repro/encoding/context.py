@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import gc
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
+
+from repro.encoding import arena as _arena
+from repro.encoding.arena import GateArena
 
 
 @dataclass(frozen=True, order=True)
@@ -96,6 +101,20 @@ class EncodingContext:
         if self.journal is not None:
             self._flush_vars()
             self.journal.append(event)
+
+    @property
+    def journaling(self) -> bool:
+        """True while emissions are being journaled.
+
+        Producers must consult this (not ``journal is not None``) before
+        *constructing* an event tuple for :meth:`record`: the arena-backed
+        context exposes ``journal`` only after :meth:`finalize`, and when
+        journaling is off entirely the event tuples would be pure waste.
+        """
+        return self.journal is not None
+
+    def finalize(self) -> None:
+        """Seal the encoding (no-op here; the arena context materializes)."""
 
     def group_id(self, group: StatementGroup) -> int:
         """Index of ``group`` in the journal's group table (registering it)."""
@@ -211,3 +230,218 @@ class EncodingContext:
     def num_clauses(self) -> int:
         """Total number of clauses emitted so far (hard plus grouped)."""
         return len(self.hard) + sum(len(clauses) for clauses in self.groups.values())
+
+
+def _flatten_lits(value, out: list[int]) -> None:
+    """Collect the literals of a (possibly nested) bit-vector payload."""
+    for item in value:
+        if isinstance(item, int):
+            out.append(item)
+        else:
+            _flatten_lits(item, out)
+
+
+def _event_refs(event: tuple) -> tuple[int, ...] | list[int]:
+    """The literals a journal event references (for the escape pre-scan)."""
+    tag = event[0]
+    if tag == "nd":
+        return event[1]
+    if tag == "in":
+        return event[2]
+    if tag == "ret":
+        return event[1] or ()
+    if tag == "viol":
+        return (event[2],)
+    return ()
+
+
+def _call_enter_refs(event: tuple) -> list[int]:
+    """The interface of a "ce" event: guard, arguments, global bindings."""
+    refs = [event[4]]
+    _flatten_lits(event[5], refs)
+    for _name, value in event[6]:
+        _flatten_lits(value, refs)
+    return refs
+
+
+def _call_exit_refs(event: tuple) -> list[int]:
+    """The interface of a "cx" event: result bits plus global bindings."""
+    refs: list[int] = []
+    _flatten_lits(event[2], refs)
+    for _name, value in event[3]:
+        _flatten_lits(value, refs)
+    return refs
+
+
+class ArenaEncodingContext(EncodingContext):
+    """An :class:`EncodingContext` backed by flat :class:`GateArena` storage.
+
+    Same observable behaviour as the legacy list/tuple context — identical
+    variable numbering, clause order, journal events and gate signature —
+    but clauses, the journal and the gate cache live in flat ``array('q')``
+    buffers while the encode runs (the C emission core operates on the same
+    buffers).  :meth:`finalize` materializes the legacy ``hard`` / ``groups``
+    / ``journal`` structures once at the end, so artifacts and every
+    downstream consumer are byte-for-byte unaffected.
+
+    The legacy class remains the engine of the splice replay
+    (:mod:`repro.bmc.splice` mutates its state directly); this subclass is
+    what cold compiles run on.
+    """
+
+    def __init__(self, width: int = 16) -> None:
+        self.width = width
+        self.arena = GateArena()
+        self._current: Optional[StatementGroup] = None
+        self._group_table: list[StatementGroup] = []
+        self._group_ids: dict[StatementGroup, int] = {}
+        self._finalized = False
+        self._journal_view: Optional[list[tuple]] = None
+        self._hard_view: Optional[list[list[int]]] = None
+        self._groups_view: Optional[dict[StatementGroup, list[list[int]]]] = None
+        #: Wall-clock seconds per encode phase, filled by the producer
+        #: (trace construction vs gate emission vs journal materialization).
+        self.encode_phases: dict[str, float] = {}
+        #: Which emission backend filled the buffers ("python" or "c").
+        self.encode_backend = "python"
+
+    # -------------------------------------------------------------- journal
+
+    def begin_journal(self) -> None:
+        self.arena.begin_journal()
+        self._group_table = []
+        self._group_ids = {}
+
+    @property
+    def journaling(self) -> bool:
+        return bool(self.arena.hdr[_arena.HDR_JOURNAL])
+
+    @property
+    def journal(self) -> Optional[list[tuple]]:
+        """The legacy tuple journal — available once :meth:`finalize` ran."""
+        return self._journal_view
+
+    def record(self, event: tuple) -> None:
+        arena = self.arena
+        if not arena.hdr[_arena.HDR_JOURNAL]:
+            return
+        tag = event[0]
+        if tag == "ce":
+            arena.record_event(event, _arena.TAG_CE, _call_enter_refs(event))
+        elif tag == "cx":
+            arena.record_event(event, _arena.TAG_CX, _call_exit_refs(event))
+        else:
+            arena.record_event(event, _arena.TAG_RAW, _event_refs(event))
+
+    def group_id(self, group: StatementGroup) -> int:
+        index = self._group_ids.get(group)
+        if index is None:
+            index = len(self._group_table)
+            self._group_ids[group] = index
+            self._group_table.append(group)
+        return index
+
+    @property
+    def group_table(self) -> list[StatementGroup]:
+        return self._group_table
+
+    # ------------------------------------------------------------ variables
+
+    def new_var(self) -> int:
+        return self.arena.new_var()
+
+    @property
+    def _true_lit(self) -> Optional[int]:
+        return self.arena.hdr[_arena.HDR_TRUE] or None
+
+    @property
+    def true_lit(self) -> int:
+        return self.arena.true_lit()
+
+    # -------------------------------------------------------------- clauses
+
+    def emit(self, clause: list[int]) -> None:
+        group = self._current
+        self.arena.emit(clause, -1 if group is None else self.group_id(group))
+
+    def emit_hard(self, clause: list[int]) -> None:
+        self.arena.emit(clause, -1)
+
+    def emit_gate(self, clause: list[int]) -> None:
+        self.arena.emit(clause, -1)
+
+    @property
+    def gates_emitted(self) -> int:
+        return self.arena.hdr[_arena.HDR_GATES]
+
+    @property
+    def gate_hits(self) -> int:
+        return self.arena.hdr[_arena.HDR_HITS]
+
+    @property
+    def gate_signature(self) -> str:
+        return f"{self.arena.hdr[_arena.HDR_SIG] & ((1 << 64) - 1):016x}"
+
+    @contextmanager
+    def group(self, group: Optional[StatementGroup]) -> Iterator[None]:
+        previous = self._current
+        self._current = group
+        if group is not None and group not in self._group_ids:
+            # Register the (possibly empty) group exactly like the legacy
+            # context: the soft selector set must not depend on whether any
+            # clause lands in the group.
+            self.arena.record_group(self.group_id(group))
+        try:
+            yield
+        finally:
+            self._current = previous
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def num_vars(self) -> int:
+        return self.arena.hdr[_arena.HDR_NUM_VARS]
+
+    @property
+    def num_clauses(self) -> int:
+        return self.arena.hdr[_arena.HDR_NCLAUSES]
+
+    @property
+    def hard(self) -> list[list[int]]:
+        if self._hard_view is None:
+            raise RuntimeError("arena context read before finalize()")
+        return self._hard_view
+
+    @property
+    def groups(self) -> dict[StatementGroup, list[list[int]]]:
+        if self._groups_view is None:
+            raise RuntimeError("arena context read before finalize()")
+        return self._groups_view
+
+    # ------------------------------------------------------- materialization
+
+    def finalize(self) -> None:
+        """Materialize the legacy clause lists and tuple journal (once).
+
+        The cyclic collector is suspended for the duration: materialization
+        allocates millions of containers that are all retained, and letting
+        the GC repeatedly scan that growing live set multiplies the cost of
+        this phase several-fold without ever freeing anything.
+        """
+        if self._finalized:
+            return
+        started = time.perf_counter()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            hard, groups, journal, _true = self.arena.materialize(self._group_table)
+        finally:
+            if was_enabled:
+                gc.enable()
+        self._hard_view = hard
+        self._groups_view = groups
+        self._journal_view = journal
+        self._finalized = True
+        self.encode_phases["materialize"] = (
+            self.encode_phases.get("materialize", 0.0) + time.perf_counter() - started
+        )

@@ -31,6 +31,11 @@ set (``auto`` / ``python`` / ``c``):
   layers.  Set it explicitly to mix backends — e.g.
   ``REPRO_PROPAGATION=python REPRO_SEARCH=auto`` runs the compiled search
   kernel above a Python root-level propagator.
+* ``REPRO_ENCODE`` — the CNF emission core (``encode.c``, a separate tiny
+  library built on demand through the same cache).  Same value set and the
+  same inheritance rule: unset inherits ``REPRO_PROPAGATION``.  Both
+  emission backends produce bit-identical artifacts, so this knob is purely
+  a speed choice.
 
 The compiled artifact is cached under ``_build/`` next to this module
 (override the location with ``REPRO_SAT_BUILD_DIR``; CI's compiler-less job
@@ -53,12 +58,23 @@ from pathlib import Path
 from typing import Optional
 
 _SOURCE = Path(__file__).resolve().parent / "search.c"
+_ENCODE_SOURCE = Path(__file__).resolve().parent / "encode.c"
+_ENCODE_PY_SOURCE = Path(__file__).resolve().parent / "encode_py.c"
 
 #: Why the C cores are unavailable (diagnostic; None when the library loaded).
 unavailable_reason: Optional[str] = None
 
+#: Why the C encode core is unavailable (diagnostic; None when it loaded).
+encode_unavailable_reason: Optional[str] = None
+
 _loaded: Optional[ctypes.CDLL] = None
 _attempted = False
+
+_encode_loaded: Optional[ctypes.CDLL] = None
+_encode_attempted = False
+
+_materialize_loaded: Optional[ctypes.CDLL] = None
+_materialize_attempted = False
 
 _MODES = ("auto", "python", "c")
 
@@ -86,6 +102,18 @@ def search_mode() -> str:
     pure end to end.
     """
     explicit = _env_mode("REPRO_SEARCH")
+    return explicit if explicit is not None else propagation_mode()
+
+
+def encode_mode() -> str:
+    """The requested CNF-emission mode.
+
+    ``REPRO_ENCODE`` when set; otherwise inherited from
+    ``REPRO_PROPAGATION`` (like ``REPRO_SEARCH``) so a pinned pure-Python
+    run stays interpreted across encoding, propagation and search without
+    setting three variables.
+    """
+    explicit = _env_mode("REPRO_ENCODE")
     return explicit if explicit is not None else propagation_mode()
 
 
@@ -157,14 +185,16 @@ def _build_dir() -> Optional[Path]:
         return None
 
 
-def _compile() -> Path:
-    source = _SOURCE.read_bytes()
-    extra = sanitize_flags()
+def _compile_source(
+    source_path: Path, prefix: str, extra_flags: tuple[str, ...] = ()
+) -> Path:
+    source = source_path.read_bytes()
+    extra = sanitize_flags() + extra_flags
     # The sanitizer flags join the digest: a sanitized build lands in its
     # own cache slot and a later plain run never loads it by accident.
     digest = hashlib.sha256(source + b"\x00" + " ".join(extra).encode()).hexdigest()[:16]
     cache = _build_dir()
-    out = None if cache is None else cache / f"_search_{digest}.so"
+    out = None if cache is None else cache / f"_{prefix}_{digest}.so"
     if out is not None and out.exists():
         return out
     compiler = _find_compiler()
@@ -175,9 +205,9 @@ def _compile() -> Path:
         # Private per-process directory (0700 by mkdtemp): built fresh every
         # process, never loaded from a path another user could pre-create.
         private = Path(tempfile.mkdtemp(prefix="repro-sat-"))
-        target = private / f"_search_{digest}.so"
+        target = private / f"_{prefix}_{digest}.so"
         subprocess.run(
-            [*command, "-o", str(target), str(_SOURCE)],
+            [*command, "-o", str(target), str(source_path)],
             check=True,
             capture_output=True,
         )
@@ -185,13 +215,17 @@ def _compile() -> Path:
     with tempfile.TemporaryDirectory(dir=str(out.parent)) as workdir:
         staging = Path(workdir) / out.name
         subprocess.run(
-            [*command, "-o", str(staging), str(_SOURCE)],
+            [*command, "-o", str(staging), str(source_path)],
             check=True,
             capture_output=True,
         )
         # Atomic move so concurrent builders never load a half-written .so.
         os.replace(staging, out)
     return out
+
+
+def _compile() -> Path:
+    return _compile_source(_SOURCE, "search")
 
 
 def load_core() -> Optional[ctypes.CDLL]:
@@ -232,6 +266,138 @@ def load_core() -> Optional[ctypes.CDLL]:
             ) from error
         _loaded = None
     return _loaded
+
+
+def load_encode_core() -> Optional[ctypes.CDLL]:
+    """Load (building if needed) the C emission core, or ``None``.
+
+    Separate library from the solver cores so ``REPRO_ENCODE=python`` never
+    compiles ``encode.c`` and a missing compiler degrades each layer
+    independently.  Raises only when ``REPRO_ENCODE`` (or the inherited
+    ``REPRO_PROPAGATION``) is pinned to ``c`` and the build fails.
+    """
+    global _encode_loaded, _encode_attempted, encode_unavailable_reason
+    if _encode_attempted:
+        return _encode_loaded
+    _encode_attempted = True
+    mode = encode_mode()
+    if mode == "python":
+        encode_unavailable_reason = "disabled by REPRO_ENCODE/REPRO_PROPAGATION=python"
+        return None
+    try:
+        library = ctypes.CDLL(str(_compile_source(_ENCODE_SOURCE, "encode")))
+        gate = library.repro_enc_gate
+        gate.restype = ctypes.c_longlong
+        gate.argtypes = [ctypes.c_void_p] * 6 + [ctypes.c_longlong] * 4
+        add = library.repro_enc_add
+        add.restype = None
+        add.argtypes = [ctypes.c_void_p] * 9 + [ctypes.c_longlong] * 2
+        mul = library.repro_enc_mul
+        mul.restype = None
+        mul.argtypes = [ctypes.c_void_p] * 9 + [ctypes.c_longlong]
+        equals = library.repro_enc_equals
+        equals.restype = ctypes.c_longlong
+        equals.argtypes = [ctypes.c_void_p] * 9 + [ctypes.c_longlong]
+        uless = library.repro_enc_uless
+        uless.restype = ctypes.c_longlong
+        uless.argtypes = [ctypes.c_void_p] * 8 + [ctypes.c_longlong]
+        mux = library.repro_enc_mux
+        mux.restype = None
+        mux.argtypes = [ctypes.c_void_p] * 6 + [ctypes.c_longlong] + [ctypes.c_void_p] * 3 + [ctypes.c_longlong]
+        rehash = library.repro_enc_rehash
+        rehash.restype = None
+        rehash.argtypes = [
+            ctypes.c_void_p,
+            ctypes.c_longlong,
+            ctypes.c_void_p,
+            ctypes.c_longlong,
+        ]
+        _encode_loaded = library
+    except Exception as error:  # compiler missing, sandboxed tmpdir, ...
+        encode_unavailable_reason = f"{type(error).__name__}: {error}"
+        if mode == "c":
+            knob = (
+                "REPRO_ENCODE=c"
+                if _env_mode("REPRO_ENCODE") == "c"
+                else "REPRO_PROPAGATION=c (inherited by REPRO_ENCODE)"
+            )
+            raise RuntimeError(
+                f"{knob} but the C encode core failed to load: "
+                f"{encode_unavailable_reason}"
+            ) from error
+        _encode_loaded = None
+    return _encode_loaded
+
+
+def encode_library() -> Optional[ctypes.CDLL]:
+    """The loaded C emission library, or ``None`` when unavailable/pinned."""
+    if encode_mode() == "python":
+        return None
+    return load_encode_core()
+
+
+def encode_unavailable() -> Optional[str]:
+    """Why the C emission core cannot be used (``None`` when it can)."""
+    if encode_mode() == "python":
+        if _env_mode("REPRO_ENCODE") == "python":
+            return "disabled by REPRO_ENCODE=python"
+        return "disabled by REPRO_PROPAGATION=python (inherited by REPRO_ENCODE)"
+    load_encode_core()
+    return encode_unavailable_reason
+
+
+def encode_backend() -> str:
+    """Which emission backend new compiles will use (``"c"`` or ``"python"``)."""
+    return "c" if encode_library() is not None else "python"
+
+
+def load_materialize_core() -> Optional[ctypes.CDLL]:
+    """Load the CPython-API materialization core, or ``None``.
+
+    Built from ``encode_py.c`` against the interpreter's own headers and
+    loaded with :class:`ctypes.PyDLL` (the entry point manipulates Python
+    objects under the GIL).  Follows the ``REPRO_ENCODE`` mode but never
+    raises: a missing Python.h only costs speed — the pure-Python
+    :meth:`GateArena.materialize` walk produces the identical object graph.
+    """
+    global _materialize_loaded, _materialize_attempted
+    if _materialize_attempted:
+        return _materialize_loaded
+    _materialize_attempted = True
+    if encode_mode() == "python":
+        return None
+    try:
+        import sysconfig
+
+        include = sysconfig.get_paths()["include"]
+        if not (Path(include) / "Python.h").exists():
+            return None
+        library = ctypes.PyDLL(
+            str(_compile_source(_ENCODE_PY_SOURCE, "encodepy", (f"-I{include}",)))
+        )
+        materialize = library.repro_materialize
+        materialize.restype = ctypes.py_object
+        materialize.argtypes = [
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_longlong,
+            ctypes.c_void_p,
+            ctypes.c_longlong,
+            ctypes.py_object,
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+        ]
+        _materialize_loaded = library
+    except Exception:  # compiler or headers missing — fall back silently
+        _materialize_loaded = None
+    return _materialize_loaded
+
+
+def materialize_function():
+    """The raw ``repro_materialize`` entry point, or ``None``."""
+    library = load_materialize_core()
+    return None if library is None else library.repro_materialize
 
 
 def propagate_function():

@@ -444,6 +444,8 @@ class LocalizationServer:
     # ------------------------------------------------------------------ stats
 
     async def _op_stats(self, request: Mapping[str, Any]) -> dict:
+        from repro.encoding import encode_backend
+
         return {
             "ok": True,
             "server": {
@@ -451,6 +453,7 @@ class LocalizationServer:
                 "localizations_served": self.localizations_served,
                 "protocol_errors": self.protocol_errors,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
+                "encode_backend": encode_backend(),
             },
             "store": self.store.stats.as_dict(),
             "result_cache": self.result_cache.as_dict(),

@@ -101,6 +101,8 @@ class StoreStats:
     spills: int = 0
     corrupt_recovered: int = 0
     stale_swept: int = 0
+    splice_declines: int = 0
+    splice_declined_early: int = 0
 
     @property
     def requests(self) -> int:
@@ -122,6 +124,8 @@ class StoreStats:
             "spills": self.spills,
             "corrupt_recovered": self.corrupt_recovered,
             "stale_swept": self.stale_swept,
+            "splice_declines": self.splice_declines,
+            "splice_declined_early": self.splice_declined_early,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -357,15 +361,22 @@ class ArtifactStore:
         )
         if base is not None:
             base_key, base_compiled = base
+            outcome: dict = {}
             compiled = splice_compile(
                 base_compiled,
                 checker,
                 entry=entry,
                 base_key=base_key,
                 new_fingerprint=new_fingerprint,
+                outcome=outcome,
             )
             if compiled is not None:
                 warm_from = base_key
+            elif outcome.get("declined"):
+                with self._lock:
+                    self.stats.splice_declines += 1
+                    if outcome.get("declined_early"):
+                        self.stats.splice_declined_early += 1
         if compiled is None:
             checker = BoundedModelChecker(program, **checker_kwargs)
             compiled = checker.compile_program(entry=entry)

@@ -15,6 +15,7 @@ For one faulty version the harness
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -230,6 +231,15 @@ class LargeBenchmarkResult:
     #: Fraction of journal groups the change-impact pass re-encoded on the
     #: warm path (0.0 = everything replayed; None-like 1.0 when declined).
     impact_fraction: float = 1.0
+    #: Which emission backend filled the cold compile's buffers ("python"
+    #: or "c"); both produce bit-identical artifacts.
+    encode_backend: str = ""
+    #: Wall-clock seconds per cold-encode phase (analysis, gate emission,
+    #: clause/journal materialization).
+    encode_phases: dict = field(default_factory=dict)
+    #: Whether a declined warm compile failed a precondition up front
+    #: (before paying for impact analysis or any journal replay).
+    splice_declined_early: bool = False
 
 
 def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkResult:
@@ -253,6 +263,60 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     started = time.perf_counter()
     test = list(benchmark.failing_test)
     spec = benchmark.specification()
+
+    # Incremental cross-version encode: the unpatched reference program
+    # stands in for the previously stored artifact, the faulty version for
+    # the new compile — the Table 3 analogue of re-localizing after an edit.
+    # Measured first, before the tracers populate the heap: with several
+    # million retained objects alive the small-object allocator slows every
+    # later allocation several-fold, which would contaminate the encode
+    # timings with heap state rather than encoder throughput.
+    from repro.bmc import BoundedModelChecker
+    from repro.bmc.splice import splice_compile
+
+    encode_started = time.perf_counter()
+    cold_compiled = BoundedModelChecker(
+        faulty, group_statements=True
+    ).compile_program()
+    result.encode_time_cold = time.perf_counter() - encode_started
+    cold_profile = cold_compiled.encode_profile()
+    result.encode_backend = cold_profile.get("encode_backend", "")
+    result.encode_phases = {
+        phase: round(seconds, 4)
+        for phase, seconds in cold_profile.get("encode_phases", {}).items()
+    }
+    cold_signature = cold_compiled.signature
+    reference_compiled = BoundedModelChecker(
+        benchmark.reference_program(), group_statements=True
+    ).compile_program()
+    # Drop the cold artifact so the warm run sees the same heap the cold
+    # run did (plus the base artifact a warm client genuinely holds).
+    del cold_compiled
+    gc.collect()
+    encode_started = time.perf_counter()
+    splice_outcome: dict = {}
+    warm_compiled = splice_compile(
+        reference_compiled,
+        BoundedModelChecker(faulty, group_statements=True),
+        base_key=f"{benchmark.name}-reference",
+        outcome=splice_outcome,
+    )
+    if warm_compiled is None:
+        # Declined: the honest warm number is decline-check plus cold run.
+        result.splice_declined_early = bool(splice_outcome.get("declined_early"))
+        warm_compiled = BoundedModelChecker(
+            faulty, group_statements=True
+        ).compile_program()
+    else:
+        result.warm_spliced = True
+        result.impact_fraction = warm_compiled.impact_fraction
+    result.encode_time_warm = time.perf_counter() - encode_started
+    if warm_compiled.signature != cold_signature:
+        raise AssertionError(
+            f"{benchmark.name}: warm encode diverged from cold"
+        )
+    del warm_compiled, reference_compiled
+    gc.collect()
 
     # Delta debugging (D): minimize the failure-inducing input first.
     if "D" in benchmark.reduction:
@@ -289,40 +353,6 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
         analysis_narrowing=False,
     ).trace(test, spec)
     result.clauses_pruned = unnarrowed.num_clauses - reduced.num_clauses
-
-    # Incremental cross-version encode: the unpatched reference program
-    # stands in for the previously stored artifact, the faulty version for
-    # the new compile — the Table 3 analogue of re-localizing after an edit.
-    from repro.bmc import BoundedModelChecker
-    from repro.bmc.splice import splice_compile
-
-    reference_compiled = BoundedModelChecker(
-        benchmark.reference_program(), group_statements=True
-    ).compile_program()
-    encode_started = time.perf_counter()
-    cold_compiled = BoundedModelChecker(
-        faulty, group_statements=True
-    ).compile_program()
-    result.encode_time_cold = time.perf_counter() - encode_started
-    encode_started = time.perf_counter()
-    warm_compiled = splice_compile(
-        reference_compiled,
-        BoundedModelChecker(faulty, group_statements=True),
-        base_key=f"{benchmark.name}-reference",
-    )
-    if warm_compiled is None:
-        # Declined: the honest warm number is decline-check plus cold run.
-        warm_compiled = BoundedModelChecker(
-            faulty, group_statements=True
-        ).compile_program()
-    else:
-        result.warm_spliced = True
-        result.impact_fraction = warm_compiled.impact_fraction
-    result.encode_time_warm = time.perf_counter() - encode_started
-    if warm_compiled.signature != cold_compiled.signature:
-        raise AssertionError(
-            f"{benchmark.name}: warm encode diverged from cold"
-        )
 
     localizer = BugAssistLocalizer(faulty, mode="trace", max_candidates=max_candidates)
     report = localizer.localize_trace(reduced, program_name=benchmark.name)

@@ -246,6 +246,29 @@ class TestWarmCompile:
         assert source == "compiled"
         assert compiled.spliced_from is None
 
+    def test_decline_stats_distinguish_early(self, monkeypatch):
+        """A declined splice is counted, split by early (precondition) vs
+        late (mid-replay); both fields travel through ``as_dict``."""
+        import repro.bmc.splice as splice_mod
+
+        store = ArtifactStore()
+        store.get_or_compile(CLASSIFY, {"name": "classify"})
+
+        def abort(self, *args, **kwargs):
+            raise splice_mod.SpliceDecline
+
+        monkeypatch.setattr(splice_mod._Replay, "run", abort)
+        _, compiled, source = store.get_or_compile(
+            CLASSIFY_FIXED, {"name": "classify"}
+        )
+        assert source == "compiled"
+        assert compiled.spliced_from is None
+        assert store.stats.splice_declines == 1
+        assert store.stats.splice_declined_early == 0
+        stats = store.stats.as_dict()
+        assert stats["splice_declines"] == 1
+        assert stats["splice_declined_early"] == 0
+
     def test_evicted_memory_only_base_is_unindexed(self):
         store = ArtifactStore(root=None, max_memory_entries=1)
         store.get_or_compile(CLASSIFY, {"name": "classify"})

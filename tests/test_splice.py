@@ -11,6 +11,7 @@ Localization reports over the two artifacts are byte-identical.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import pytest
 
@@ -147,3 +148,98 @@ class TestSpliceLocalization:
         assert session.stats.encodings_spliced == 0
         assert session.stats.encodings_built == 1
         assert compiled.spliced_from is None
+        # An option mismatch is a precondition failure: counted as an
+        # *early* decline (no analysis or replay work was paid for).
+        assert session.stats.splices_declined == 1
+        assert session.stats.splices_declined_early == 1
+
+
+class TestDeclineCost:
+    """Declined warm compiles must not pay for work they then discard."""
+
+    def test_early_decline_skips_analysis_and_replay(self, monkeypatch):
+        """A precondition failure declines before any expensive stage."""
+        import repro.bmc.splice as splice_mod
+
+        def forbid(self, *args, **kwargs):
+            raise AssertionError("journal replay ran on an early decline")
+
+        monkeypatch.setattr(splice_mod._Replay, "run", forbid)
+        monkeypatch.setattr(splice_mod._Replay, "__init__", forbid)
+        base = cold_compile("v1")
+        program = tcas_faulty_program("v2")
+        outcome = {}
+        checker = BoundedModelChecker(program, group_statements=True, unwind=8)
+        assert splice_compile(base, checker, outcome=outcome) is None
+        assert outcome == {"declined": True, "declined_early": True}
+        # Missing journal, unknown entry: same early path.
+        for kwargs, entry in (({"journal": None}, "main"), ({}, "nonexistent")):
+            outcome = {}
+            stripped = dataclasses.replace(base, **kwargs)
+            checker = BoundedModelChecker(program, group_statements=True)
+            assert splice_compile(stripped, checker, entry=entry, outcome=outcome) is None
+            assert outcome == {"declined": True, "declined_early": True}
+
+    def test_late_decline_reported_distinctly(self, monkeypatch):
+        """A mid-replay abort is flagged as a *late* (paid-for) decline."""
+        import repro.bmc.splice as splice_mod
+
+        def abort(self, *args, **kwargs):
+            raise splice_mod.SpliceDecline
+
+        monkeypatch.setattr(splice_mod._Replay, "run", abort)
+        base = cold_compile("v1")
+        outcome = {}
+        checker = BoundedModelChecker(
+            tcas_faulty_program("v2"), group_statements=True
+        )
+        assert splice_compile(base, checker, outcome=outcome) is None
+        assert outcome == {"declined": True, "declined_early": False}
+
+    def test_early_decline_costs_fraction_of_cold(self):
+        """The declined-warm ≤ ~1.05× cold guarantee, at mechanism level:
+        the decline check itself is a vanishing fraction of a cold compile
+        (the honest warm number is decline check + cold re-run)."""
+        base = cold_compile("v1")
+        program = tcas_faulty_program("v2")
+        started = time.perf_counter()
+        cold = cold_compile("v2")
+        cold_seconds = time.perf_counter() - started
+        assert cold is not None
+        checker = BoundedModelChecker(program, group_statements=True, unwind=8)
+        started = time.perf_counter()
+        outcome = {}
+        assert splice_compile(base, checker, outcome=outcome) is None
+        decline_seconds = time.perf_counter() - started
+        assert outcome["declined_early"]
+        # Measured ~1000x headroom; 4x tolerance keeps slow CI green.
+        assert decline_seconds <= cold_seconds / 4
+
+
+class TestRegionReencode:
+    def test_schedule_cross_span_sharing_splices(self):
+        """Regression: schedule's region re-encode unifies structurally
+        identical gates across call spans, mapping recovered gate outputs
+        *backwards*.  The replay must accept such maps (per-key canonical
+        checks, not global monotonicity) and still land on the cold bytes."""
+        from repro.bmc.splice import splice_compile as run_splice
+        from repro.siemens.programs import LARGE_BENCHMARKS
+
+        case = next(b for b in LARGE_BENCHMARKS if b.name == "schedule")
+        base = BoundedModelChecker(
+            case.reference_program(), group_statements=True
+        ).compile_program()
+        outcome = {}
+        warm = run_splice(
+            base,
+            BoundedModelChecker(case.faulty_program(), group_statements=True),
+            base_key="reference",
+            outcome=outcome,
+        )
+        assert warm is not None, f"schedule declined: {outcome}"
+        cold = BoundedModelChecker(
+            case.faulty_program(), group_statements=True
+        ).compile_program()
+        assert warm.signature == cold.signature
+        assert warm.num_vars == cold.num_vars
+        assert warm.num_clauses == cold.num_clauses
