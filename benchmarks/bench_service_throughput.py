@@ -20,8 +20,10 @@ Two ways to serve it:
 Besides the printed table the run writes ``BENCH_service.json`` at the
 repository root: requests/sec for both paths, artifact-cache hit rate,
 compiles performed (must equal the version count — the compile-exactly-once
-contract), and p50/p95 request latency.  Line sets must be identical
-per (version, test) across both paths and all passes.
+contract), p50/p95 request latency (computed by the
+:class:`repro.obs.Histogram` the daemon's own metrics use), and the
+daemon's metrics-registry snapshot (``daemon.metrics``).  Line sets must
+be identical per (version, test) across both paths and all passes.
 
 Run with ``pytest benchmarks/bench_service_throughput.py --runslow``,
 directly with ``python benchmarks/bench_service_throughput.py``, or as the
@@ -34,7 +36,6 @@ from __future__ import annotations
 import json
 import os
 import re
-import statistics
 import subprocess
 import sys
 import tempfile
@@ -114,9 +115,14 @@ def spawn_daemon(workers: int, store_dir: str) -> tuple[subprocess.Popen, tuple[
 
 def run_daemon_path(protocol: dict, workload) -> dict:
     """Replay the workload as individual localize requests against a daemon."""
+    from repro.obs import Histogram
+
     store_dir = tempfile.mkdtemp(prefix="repro-serve-bench-")
     proc, address = spawn_daemon(protocol["workers"], store_dir)
-    latencies: list[float] = []
+    # Client-observed request latency, in the same fixed-bucket histogram
+    # the daemon's own metrics use (replaces hand-rolled sorted-index
+    # percentile math).
+    latency = Histogram("bench_request_seconds")
     lines: dict[tuple[int, str, int], list[int]] = {}
     try:
         with Client(tcp=address) as client:
@@ -132,26 +138,25 @@ def run_daemon_path(protocol: dict, workload) -> dict:
                             program=request.source,
                             options={"name": request.name, **_session_options()},
                         )
-                        latencies.append(time.perf_counter() - sent)
+                        latency.observe(time.perf_counter() - sent)
                         lines[(pass_index, request.version, test_index)] = reply[
                             "report"
                         ]["lines"]
             total = time.perf_counter() - started
             stats = client.stats()
+            metrics = client.metrics()
             client.shutdown()
         proc.wait(timeout=30)
     finally:
         if proc.poll() is None:
             proc.kill()
-    requests = len(latencies)
+    requests = latency.count
     return {
         "total_seconds": round(total, 3),
         "requests": requests,
         "requests_per_second": round(requests / total, 2) if total else 0.0,
-        "latency_p50_ms": round(1000 * statistics.median(latencies), 2),
-        "latency_p95_ms": round(
-            1000 * sorted(latencies)[max(0, int(0.95 * requests) - 1)], 2
-        ),
+        "latency_p50_ms": round(1000 * latency.percentile(50), 2),
+        "latency_p95_ms": round(1000 * latency.percentile(95), 2),
         "compiles": stats["store"]["compiles"],
         "artifact_cache": stats["store"],
         "result_cache": stats["result_cache"],
@@ -160,6 +165,9 @@ def run_daemon_path(protocol: dict, workload) -> dict:
             for key, value in stats["pool"].items()
             if key != "workers"
         },
+        # The daemon's own metrics registry snapshot (span-fed request
+        # histograms, solver counters, store/cache/pool gauges).
+        "metrics": metrics["snapshot"],
         "lines": lines,
     }
 

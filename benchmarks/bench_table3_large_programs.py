@@ -6,9 +6,12 @@ technique (S = slicing, C = concolic simulation, D = delta debugging), the
 number of reported fault locations, and the run time.
 
 Besides the human-readable table, the run writes ``BENCH_table3.json`` at
-the repository root — one record per benchmark with the clause counts, the
-number of SAT calls and the wall time — so the performance trajectory can be
-tracked across PRs.  Each record also carries *why*-a-row-moved fields:
+the repository root — ``{"rows": [...], "metrics": {...}}``, one row per
+benchmark with the clause counts, the number of SAT calls and the wall
+time, plus the run's :data:`repro.obs.REGISTRY` metrics snapshot
+(span-fed encode-phase histograms and solver-effort counters) — so the
+performance trajectory can be tracked across PRs.  Each row also carries
+*why*-a-row-moved fields:
 ``propagations_per_second`` (propagation throughput, which reflects whether
 the C propagation core or the pure-Python fallback ran),
 ``conflicts_per_second`` (search-kernel throughput: conflict analysis,
@@ -116,10 +119,65 @@ def test_journaling_off_encode_is_not_slower():
     assert off <= on * 1.15, (off, on)
 
 
+def test_disabled_tracing_overhead_is_negligible():
+    """Micro-assert: with ``REPRO_TRACE=off`` a span is a bare timer.
+
+    Measures the per-span cost of the disabled fast path directly and
+    bounds it against a real encode: the spans a request opens must cost
+    ≤3% of the request's wall time.  In practice the ratio is orders of
+    magnitude below the bound; the assert exists so a regression that puts
+    work on the disabled path (registry lookups, dict builds, env reads)
+    fails loudly.
+    """
+    import os
+
+    from repro import obs
+    from repro.bmc import BoundedModelChecker
+
+    assert os.environ.get("REPRO_TRACE", "off") in ("", "off"), (
+        "micro-assert must run with tracing off"
+    )
+    assert obs.current_context() is None
+
+    # Per-disabled-span cost, amortized over a tight loop.
+    iterations = 10_000
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("bench.noop"):
+            pass
+    per_span = (time.perf_counter() - started) / iterations
+
+    # A real request, tracing off, best of 3 (same shape as the journal-off
+    # check above).
+    case = next(b for b in LARGE_BENCHMARKS if b.name == "schedule")
+    program = case.faulty_program()
+    request_time = float("inf")
+    spans_per_request = None
+    for _ in range(3):
+        checker = BoundedModelChecker(program, group_statements=True)
+        run_started = time.perf_counter()
+        checker.compile_program("main")
+        request_time = min(request_time, time.perf_counter() - run_started)
+    # Count the spans the same request opens when tracing is on.
+    os.environ["REPRO_TRACE"] = "on"
+    try:
+        with obs.trace("bench.count") as handle:
+            BoundedModelChecker(program, group_statements=True).compile_program(
+                "main"
+            )
+        spans_per_request = len(handle.spans())
+    finally:
+        os.environ.pop("REPRO_TRACE", None)
+    assert spans_per_request >= 4  # root + compile + the encode phases
+    overhead = (spans_per_request * per_span) / request_time
+    assert overhead <= 0.03, (overhead, per_span, spans_per_request, request_time)
+
+
 def _write_bench_json() -> None:
+    from repro.obs import REGISTRY
     from repro.sat import propagation_backend, search_backend
 
-    payload = [
+    rows = [
         {
             "name": row.name,
             "reduction": row.reduction,
@@ -152,4 +210,8 @@ def _write_bench_json() -> None:
         }
         for row in _rows.values()
     ]
+    # The run's metrics registry snapshot replaces hand-rolled timing
+    # aggregation: solver-effort counters and the span-fed phase histograms
+    # accumulated while the rows above ran.
+    payload = {"rows": rows, "metrics": REGISTRY.snapshot()}
     BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

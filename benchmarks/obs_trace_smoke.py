@@ -1,0 +1,118 @@
+"""CI smoke for the observability layer (`repro.obs`).
+
+Two checks, in order:
+
+1. **Disabled-tracing overhead** — with ``REPRO_TRACE`` unset a span must
+   be a bare timer; the ≤3% micro-assert from the Table 3 benchmark runs
+   first, before any tracing is switched on.
+2. **Stitched export** — boot the real serving stack (``ServerThread`` +
+   worker subprocesses), push one TCAS localization through it with
+   ``REPRO_TRACE=export``, and validate the emitted file against the
+   Chrome trace-event schema: one ``traceEvents`` document whose spans
+   cross the daemon/worker process boundary (≥2 pids) and all chain up to
+   the ``serve.localize`` frontend root.
+
+Run as ``python benchmarks/obs_trace_smoke.py`` (CI) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import obs
+from repro.serve import Client, ServerThread
+from repro.siemens.suite import TCAS_HARNESS_LINES, service_workload
+
+#: Span names the stitched trace must contain, frontend to solver.
+EXPECTED_SPANS = ("serve.localize", "serve.shard", "worker.shard", "session.localize")
+
+
+def check_disabled_overhead() -> None:
+    """Run the ≤3% disabled-span micro-assert (tracing must be off)."""
+    assert os.environ.get("REPRO_TRACE", "off") in ("", "off"), (
+        "run the smoke with REPRO_TRACE unset; it enables tracing itself"
+    )
+    from bench_table3_large_programs import (
+        test_disabled_tracing_overhead_is_negligible,
+    )
+
+    test_disabled_tracing_overhead_is_negligible()
+    print("disabled-tracing overhead: within the 3% bound")
+
+
+def check_stitched_export() -> None:
+    """One traced TCAS localization; validate the exported Chrome trace."""
+    request = service_workload(versions=["v1"], tests_per_version=1)[0]
+    inputs, spec = request.tests[0]
+    export_dir = tempfile.mkdtemp(prefix="repro-trace-smoke-")
+    os.environ["REPRO_TRACE"] = "export"
+    os.environ["REPRO_TRACE_DIR"] = export_dir
+    try:
+        with ServerThread(workers=2) as daemon:
+            with Client(tcp=daemon.tcp_address) as client:
+                client.wait_until_ready()
+                reply = client.localize(
+                    test=inputs,
+                    spec=spec,
+                    program=request.source,
+                    options={
+                        "name": f"tcas-{request.version}",
+                        "hard_lines": list(TCAS_HARNESS_LINES),
+                        "max_candidates": 3,
+                    },
+                )
+    finally:
+        os.environ.pop("REPRO_TRACE", None)
+        os.environ.pop("REPRO_TRACE_DIR", None)
+
+    assert reply["ok"], reply
+    assert reply["report"]["candidates"], "localization reported no candidates"
+    trace_path = reply.get("trace_path")
+    assert trace_path, "export mode must return the trace file path"
+
+    document = json.loads(Path(trace_path).read_text())
+    problems = obs.validate_chrome_trace(document)
+    assert problems == [], problems
+
+    events = document["traceEvents"]
+    names = {event["name"] for event in events}
+    missing = [name for name in EXPECTED_SPANS if name not in names]
+    assert not missing, f"stitched trace is missing spans: {missing}"
+
+    pids = {event["pid"] for event in events}
+    assert len(pids) >= 2, f"expected daemon + worker pids, got {sorted(pids)}"
+
+    # Every span chains up to the frontend root: one tree, one trace.
+    by_id = {event["args"]["span_id"]: event for event in events}
+    for event in events:
+        current = event
+        for _ in range(len(events)):
+            parent = current["args"].get("parent_id")
+            if parent is None:
+                break
+            current = by_id[parent]
+        assert current["name"] == "serve.localize", event["name"]
+
+    trace_id = document["otherData"]["trace_id"]
+    assert reply["trace_id"] == trace_id
+    print(
+        f"stitched export: {len(events)} spans across {len(pids)} processes, "
+        f"trace {trace_id} -> {trace_path}"
+    )
+
+
+def main() -> int:
+    check_disabled_overhead()
+    check_stitched_export()
+    print("obs smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

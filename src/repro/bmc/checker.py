@@ -22,10 +22,10 @@ Three front doors are provided:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.bmc.compiled import CompiledProgram
 from repro.encoding.circuits import Bits, CircuitBuilder, simplifier_name
 from repro.encoding.context import ArenaEncodingContext, StatementGroup
@@ -163,6 +163,10 @@ class BoundedModelChecker:
         use; the artifact is picklable so batch localization can ship it to
         worker processes once.
         """
+        with obs.span("bmc.compile", program=self.program.name, entry=entry):
+            return self._compile_program(entry)
+
+    def _compile_program(self, entry: str) -> CompiledProgram:
         input_bits, return_bits = self._encode(entry, journal=True)
         context = self._context
         function = self.program.function(entry)
@@ -204,13 +208,23 @@ class BoundedModelChecker:
         )
         from repro.bmc.compiled import _set_encode_profile
 
+        encode_phases = dict(getattr(context, "encode_phases", {}))
         _set_encode_profile(
             compiled,
             {
                 "encode_backend": getattr(context, "encode_backend", "python"),
-                "encode_phases": dict(getattr(context, "encode_phases", {})),
+                "encode_phases": encode_phases,
             },
         )
+        obs.REGISTRY.counter(
+            "repro_compiles", "Whole-program compiles (cold encodes)"
+        ).inc()
+        for phase, seconds in encode_phases.items():
+            obs.REGISTRY.histogram(
+                "repro_encode_phase_seconds",
+                "Per-phase encode wall time",
+                labels={"phase": phase},
+            ).observe(seconds)
         return compiled
 
     def encode_program_formula(
@@ -405,30 +419,30 @@ class BoundedModelChecker:
         self._narrowed_vars = 0
         self._write_intervals: dict[tuple[str, int], object] = {}
         phases = self._context.encode_phases
-        started = time.perf_counter()
-        if self.analysis_narrowing:
-            analysis = self._analysis_for(entry)
-            if analysis is not None and not analysis.has_errors:
-                self._write_intervals = analysis.flow_write_intervals
-        phases["analysis"] = time.perf_counter() - started
+        with obs.span("encode.analysis") as timed:
+            if self.analysis_narrowing:
+                analysis = self._analysis_for(entry)
+                if analysis is not None and not analysis.has_errors:
+                    self._write_intervals = analysis.flow_write_intervals
+        phases["analysis"] = timed.duration
 
-        started = time.perf_counter()
-        builder = self._builder
-        self._current_guard = builder.true
-        self._initialize_globals()
-        function = self.program.function(entry)
-        frame = _Frame(function=entry, active=builder.true)
-        input_bits: dict[str, Bits] = {}
-        for param in function.params:
-            bits = builder.fresh()
-            frame.variables[param] = bits
-            input_bits[param] = bits
+        with obs.span("encode.gates") as timed:
+            builder = self._builder
+            self._current_guard = builder.true
+            self._initialize_globals()
+            function = self.program.function(entry)
+            frame = _Frame(function=entry, active=builder.true)
+            input_bits: dict[str, Bits] = {}
+            for param in function.params:
+                bits = builder.fresh()
+                frame.variables[param] = bits
+                input_bits[param] = bits
+                if self._context.journaling:
+                    self._context.record(("in", param, bits))
+            self._run_function(function, frame, builder.true)
             if self._context.journaling:
-                self._context.record(("in", param, bits))
-        self._run_function(function, frame, builder.true)
-        if self._context.journaling:
-            self._context.record(("ret", frame.return_value))
-        phases["gates"] = time.perf_counter() - started
+                self._context.record(("ret", frame.return_value))
+        phases["gates"] = timed.duration
         self._context.finalize()
         return input_bits, frame.return_value
 

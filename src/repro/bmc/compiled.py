@@ -22,9 +22,10 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
-import weakref
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
+
+from repro import obs
 
 from repro.encoding.context import StatementGroup
 from repro.encoding.trace import TraceFormula, TraceStep
@@ -139,17 +140,15 @@ def loads_artifact(data: bytes) -> "CompiledProgram":
     return compiled
 
 
-#: Per-instance encode profile (emission backend + phase wall times), keyed
-#: by object identity and *never* pickled: timings differ run to run and
-#: backend to backend, while artifact bytes must stay bit-identical whichever
-#: emission core filled the buffers.
-_ENCODE_PROFILE_REGISTRY: dict[int, dict] = {}
-
-
 def _set_encode_profile(compiled: "CompiledProgram", profile: dict) -> None:
-    key = id(compiled)
-    _ENCODE_PROFILE_REGISTRY[key] = profile
-    weakref.finalize(compiled, _ENCODE_PROFILE_REGISTRY.pop, key, None)
+    """Attach the encode profile (emission backend + phase wall times).
+
+    Held in :mod:`repro.obs`'s id-keyed weakref side table and *never*
+    pickled: timings differ run to run and backend to backend, while
+    artifact bytes must stay bit-identical whichever emission core filled
+    the buffers.
+    """
+    obs.attach_profile(compiled, profile)
 
 
 @dataclass
@@ -224,7 +223,7 @@ class CompiledProgram:
         produced this artifact: ``{"encode_backend": ..., "encode_phases":
         {phase: seconds}}``.  Empty for unpickled or spliced artifacts —
         timings are observability data, not content, and never serialize."""
-        return _ENCODE_PROFILE_REGISTRY.get(id(self), {})
+        return obs.profile_of(self)
 
     @property
     def num_clauses(self) -> int:

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.bmc import BoundedModelChecker, CompiledProgram
 from repro.core.localizer import run_comss_loop
 from repro.core.ranking import merge_reports
@@ -305,40 +306,52 @@ class LocalizationSession:
         """
         compiled = self.compiled
         engine = self._ensure_engine()
-        started = time.perf_counter()
-        clauses, test_inputs = compiled.test_clauses(
-            failing_test, spec, nondet_values=nondet_values
-        )
-        report = LocalizationReport(
-            program_name=program_name or compiled.program_name,
-            test_inputs=test_inputs,
-            specification=spec.describe(),
-            trace_assignments=compiled.num_assignments,
-            trace_variables=compiled.num_vars,
-            trace_clauses=compiled.num_clauses + len(clauses),
-        )
-        sat_calls_before = engine.sat_calls
-        engine.push_layer()
-        try:
-            for clause in clauses:
-                engine.add_hard(clause)
-            if self.warm_start:
-                engine.set_phases(compiled.phase_hints(test_inputs))
-            run_comss_loop(engine, report, self.max_candidates)
-            layer_stats = engine.layer_stats()
-            report.propagations = layer_stats.propagations
-            report.conflicts = layer_stats.conflicts
-            profile = dict(engine.layer_profile())
-            encode_profile = compiled.encode_profile()
-            if encode_profile:
-                profile["encode_backend"] = encode_profile["encode_backend"]
-                for phase, seconds in encode_profile["encode_phases"].items():
-                    profile[f"encode_phase_{phase}"] = round(seconds, 6)
-            self.last_request_profile = profile
-        finally:
-            engine.pop_layer()
-        report.sat_calls = engine.sat_calls - sat_calls_before
-        report.time_seconds = time.perf_counter() - started
+        with obs.span(
+            "session.localize", program=program_name or compiled.program_name
+        ) as request_span:
+            clauses, test_inputs = compiled.test_clauses(
+                failing_test, spec, nondet_values=nondet_values
+            )
+            report = LocalizationReport(
+                program_name=program_name or compiled.program_name,
+                test_inputs=test_inputs,
+                specification=spec.describe(),
+                trace_assignments=compiled.num_assignments,
+                trace_variables=compiled.num_vars,
+                trace_clauses=compiled.num_clauses + len(clauses),
+            )
+            sat_calls_before = engine.sat_calls
+            engine.push_layer()
+            try:
+                for clause in clauses:
+                    engine.add_hard(clause)
+                if self.warm_start:
+                    engine.set_phases(compiled.phase_hints(test_inputs))
+                with obs.span("solve.comss") as solve_span:
+                    run_comss_loop(engine, report, self.max_candidates)
+                layer_stats = engine.layer_stats()
+                report.propagations = layer_stats.propagations
+                report.conflicts = layer_stats.conflicts
+                profile = dict(engine.layer_profile())
+                solve_span.set(
+                    sat_calls=profile.get("sat_calls"),
+                    propagations=layer_stats.propagations,
+                    conflicts=layer_stats.conflicts,
+                )
+                encode_profile = compiled.encode_profile()
+                if encode_profile:
+                    profile["encode_backend"] = encode_profile["encode_backend"]
+                    for phase, seconds in encode_profile["encode_phases"].items():
+                        profile[f"encode_phase_{phase}"] = round(seconds, 6)
+                trace_id = obs.current_trace_id()
+                if trace_id is not None:
+                    profile["trace_id"] = trace_id
+                self.last_request_profile = profile
+            finally:
+                engine.pop_layer()
+            report.sat_calls = engine.sat_calls - sat_calls_before
+        report.time_seconds = request_span.duration
+        _record_localize_metrics(report, layer_stats)
         self.stats.tests_localized += 1
         self.stats.maxsat_calls += report.maxsat_calls
         self.stats.sat_calls += report.sat_calls
@@ -424,16 +437,26 @@ class LocalizationSession:
         )
         reports: list[Optional[LocalizationReport]] = [None] * len(tests)
         failed: list[tuple[list[tuple[int, FailingTest]], BaseException]] = []
+        # The forwardable (trace_id, parent_span_id) of the caller's open
+        # span, if any: each shard re-binds it in the worker process and
+        # ships its spans back with the results, so one trace stitches the
+        # whole fan-out.
+        trace_ctx = obs.current_context()
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_initializer,
             initargs=(payload,),
         ) as pool:
-            futures = [pool.submit(_pool_localize_shard, shard) for shard in shards]
+            futures = [
+                pool.submit(_pool_localize_shard, shard, trace_ctx)
+                for shard in shards
+            ]
             for shard, future in zip(shards, futures):
                 try:
-                    for index, report in future.result():
+                    results, shard_spans = future.result()
+                    for index, report in results:
                         reports[index] = report
+                    obs.merge_spans(trace_ctx and trace_ctx[0], shard_spans)
                 except Exception as exc:
                     # A dead or poisoned worker takes its whole shard down
                     # (and, for a BrokenProcessPool, every later shard too).
@@ -447,10 +470,12 @@ class LocalizationSession:
                     initializer=_pool_initializer,
                     initargs=(payload,),
                 ) as retry_pool:
-                    for index, report in retry_pool.submit(
-                        _pool_localize_shard, shard
-                    ).result():
+                    results, shard_spans = retry_pool.submit(
+                        _pool_localize_shard, shard, trace_ctx
+                    ).result()
+                    for index, report in results:
                         reports[index] = report
+                    obs.merge_spans(trace_ctx and trace_ctx[0], shard_spans)
             except Exception as exc:
                 raise BatchLocalizationError(
                     f"shard of {len(shard)} test(s) failed twice "
@@ -464,6 +489,35 @@ class LocalizationSession:
             self.stats.maxsat_calls += report.maxsat_calls
             self.stats.sat_calls += report.sat_calls
         return reports  # type: ignore[return-value]
+
+
+def _record_localize_metrics(report: LocalizationReport, layer_stats) -> None:
+    """Absorb one request's solver effort into the process metrics registry.
+
+    ``layer_stats`` is the per-request :class:`~repro.sat.solver.SolverStats`
+    delta (the engine layer's ``since`` snapshot), so the counters aggregate
+    true per-request effort — including the C-core propagation/conflict/
+    restart counts when those backends ran.
+    """
+    registry = obs.REGISTRY
+    registry.counter(
+        "repro_localizations", "Localization requests completed"
+    ).inc()
+    registry.counter(
+        "repro_solver_sat_calls", "Incremental SAT calls issued by the CoMSS loop"
+    ).inc(report.sat_calls)
+    registry.counter(
+        "repro_solver_propagations", "Unit propagations across all solves"
+    ).inc(layer_stats.propagations)
+    registry.counter(
+        "repro_solver_conflicts", "Conflicts across all solves"
+    ).inc(layer_stats.conflicts)
+    registry.counter(
+        "repro_solver_restarts", "Solver restarts across all solves"
+    ).inc(layer_stats.restarts)
+    registry.histogram(
+        "repro_localize_seconds", "End-to-end localization latency"
+    ).observe(report.time_seconds)
 
 
 # ----------------------------------------------------- process-pool plumbing
@@ -487,18 +541,28 @@ def _pool_initializer(payload) -> None:
     )
 
 
-def _pool_localize_shard(shard) -> list[tuple[int, LocalizationReport]]:
+def _pool_localize_shard(
+    shard, trace_ctx=None
+) -> tuple[list[tuple[int, LocalizationReport]], list[dict]]:
+    """Localize one shard; returns the reports plus the spans to stitch.
+
+    ``trace_ctx`` is the parent's forwarded ``(trace_id, parent_span_id)``;
+    the per-test ``session.localize`` spans recorded here parent under it
+    once the caller merges them.  ``None`` (tracing off) collects nothing.
+    """
     assert _WORKER_SESSION is not None
     results: list[tuple[int, LocalizationReport]] = []
-    for index, (inputs, spec) in shard:
-        try:
-            results.append((index, _WORKER_SESSION.localize(inputs, spec)))
-        except Exception as exc:
-            raise ShardLocalizationError(
-                _test_label(index, (inputs, spec)),
-                f"{type(exc).__name__}: {exc}",
-            ) from exc
-    return results
+    with obs.remote_trace(trace_ctx) as bundle:
+        with obs.span("pool.shard", tests=len(shard)):
+            for index, (inputs, spec) in shard:
+                try:
+                    results.append((index, _WORKER_SESSION.localize(inputs, spec)))
+                except Exception as exc:
+                    raise ShardLocalizationError(
+                        _test_label(index, (inputs, spec)),
+                        f"{type(exc).__name__}: {exc}",
+                    ) from exc
+    return results, bundle.spans
 
 
 def _describe_error(exc: BaseException) -> str:

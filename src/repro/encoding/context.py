@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import gc
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.encoding import arena as _arena
 from repro.encoding.arena import GateArena
 
@@ -430,18 +430,20 @@ class ArenaEncodingContext(EncodingContext):
         """
         if self._finalized:
             return
-        started = time.perf_counter()
-        was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            hard, groups, journal, _true = self.arena.materialize(self._group_table)
-        finally:
-            if was_enabled:
-                gc.enable()
+        with obs.span("encode.materialize") as timed:
+            was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                hard, groups, journal, _true = self.arena.materialize(
+                    self._group_table
+                )
+            finally:
+                if was_enabled:
+                    gc.enable()
         self._hard_view = hard
         self._groups_view = groups
         self._journal_view = journal
         self._finalized = True
         self.encode_phases["materialize"] = (
-            self.encode_phases.get("materialize", 0.0) + time.perf_counter() - started
+            self.encode_phases.get("materialize", 0.0) + timed.duration
         )

@@ -1,0 +1,72 @@
+"""Observability: spans, metrics, and trace export for the whole stack.
+
+One request identity (``trace_id``) stitches router → daemon → worker →
+solver; one clock (the span API) times every phase the old per-layer
+profiles reported; one registry collects the counters.  See
+:mod:`repro.obs.trace` for the tracing model and the ``REPRO_TRACE``
+gate, :mod:`repro.obs.metrics` for the registry, and
+:mod:`repro.obs.export` for the Chrome trace-event / JSON-line writers.
+
+This package imports only the standard library — every other layer
+(``encoding``, ``bmc``, ``core``, ``serve``) may import it freely.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import (
+    RequestTrace,
+    Span,
+    TraceCollector,
+    attach_profile,
+    attached_span,
+    bind_trace,
+    collector_for,
+    current_context,
+    current_trace_id,
+    merge_spans,
+    new_trace_id,
+    profile_of,
+    remote_trace,
+    span,
+    start_request_trace,
+    trace,
+    trace_export_dir,
+    tracing_mode,
+)
+from repro.obs.export import export_trace, to_chrome_trace, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RequestTrace",
+    "Span",
+    "TraceCollector",
+    "attach_profile",
+    "attached_span",
+    "bind_trace",
+    "collector_for",
+    "current_context",
+    "current_trace_id",
+    "export_trace",
+    "merge_spans",
+    "new_trace_id",
+    "profile_of",
+    "remote_trace",
+    "span",
+    "start_request_trace",
+    "to_chrome_trace",
+    "trace",
+    "trace_export_dir",
+    "tracing_mode",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,132 @@
+"""Trace exporters: Chrome trace-event JSON and structured log lines.
+
+``export_trace`` writes one ``{trace_id}.trace.json`` per finished trace
+(loadable in ``chrome://tracing`` or https://ui.perfetto.dev) and appends
+a one-line JSON summary keyed by trace_id to ``traces.jsonl`` in the same
+directory — the structured-log sibling for pipelines that grep rather
+than render.
+
+``validate_chrome_trace`` is the schema check the CI smoke job (and the
+tests) run against emitted files: it returns a list of problems, empty
+when the document is a well-formed Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.obs.trace import TraceCollector, trace_export_dir
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace", "export_trace"]
+
+
+def to_chrome_trace(spans: list, trace_id: Optional[str] = None) -> dict:
+    """Render span dicts as a Chrome trace-event JSON object.
+
+    Each span becomes a complete event (``"ph": "X"``); parent/child
+    structure is conveyed by time nesting per (pid, tid) track, and the
+    raw span/parent ids ride along in ``args`` for tooling that wants
+    the exact tree.
+    """
+    events = []
+    for span in spans:
+        event = {
+            "name": span["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": span["ts_us"],
+            "dur": span["dur_us"],
+            "pid": span["pid"],
+            "tid": span["tid"],
+            "args": {
+                "trace_id": span["trace_id"],
+                "span_id": span["span_id"],
+                "parent_id": span.get("parent_id"),
+                **span.get("attrs", {}),
+            },
+        }
+        if "error" in span:
+            event["args"]["error"] = span["error"]
+        events.append(event)
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id or (spans[0]["trace_id"] if spans else "")},
+    }
+
+
+def validate_chrome_trace(document) -> list:
+    """Problems that make ``document`` an invalid Chrome trace ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                problems.append("%s missing %r" % (where, field))
+        phase = event.get("ph")
+        if not isinstance(phase, str) or len(phase) != 1:
+            problems.append("%s has bad phase %r" % (where, phase))
+        if phase == "X" and "dur" not in event:
+            problems.append("%s complete event missing 'dur'" % where)
+        for field in ("ts", "dur"):
+            if field in event and not isinstance(event[field], (int, float)):
+                problems.append("%s field %r is not numeric" % (where, field))
+    return problems
+
+
+def export_trace(
+    collector: TraceCollector,
+    root_name: str = "",
+    directory: Optional[str] = None,
+) -> Optional[str]:
+    """Write a finished trace to disk; returns the trace-file path.
+
+    Best-effort by design: an unwritable export directory degrades to a
+    ``None`` return, never an exception on the serving path.
+    """
+    spans = collector.spans()
+    if not spans:
+        return None
+    out_dir = directory or trace_export_dir()
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "%s.trace.json" % collector.trace_id)
+        with open(path, "w") as handle:
+            json.dump(to_chrome_trace(spans, collector.trace_id), handle, indent=1)
+            handle.write("\n")
+        _append_log_line(out_dir, collector.trace_id, root_name, spans)
+        return path
+    except OSError:
+        return None
+
+
+def _append_log_line(out_dir: str, trace_id: str, root_name: str, spans: list) -> None:
+    roots = [s for s in spans if s.get("parent_id") is None]
+    record = {
+        "trace_id": trace_id,
+        "name": root_name or (roots[0]["name"] if roots else ""),
+        "spans": len(spans),
+        "pids": sorted({s["pid"] for s in spans}),
+        "ts_us": min(s["ts_us"] for s in spans),
+        "dur_us": max(s["ts_us"] + s["dur_us"] for s in spans)
+        - min(s["ts_us"] for s in spans),
+        "top": sorted(
+            ({"name": s["name"], "dur_us": s["dur_us"]} for s in spans),
+            key=lambda item: -item["dur_us"],
+        )[:5],
+    }
+    with open(os.path.join(out_dir, "traces.jsonl"), "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -1,0 +1,312 @@
+"""Metrics: counters, gauges and fixed-bucket histograms with a registry.
+
+The registry absorbs the numbers the stack already produces — per-solve
+``SolverStats`` deltas (propagations/conflicts/restarts from the C cores
+or the Python fallback), encode phase timings, store/cache hit counters —
+under one naming scheme, and renders them in Prometheus text exposition
+format for the daemon's ``metrics`` op.
+
+Deliberately small: no label cardinality explosion protection, no
+decay, no exemplars.  Everything is process-local and lock-guarded; the
+serve daemon is the aggregation point (worker subprocess effort already
+flows to it through the shard replies).
+
+Percentiles use the histogram-quantile estimate: find the bucket the
+rank falls in and linearly interpolate within it.  That makes p50/p95
+approximations whose error is bounded by bucket width — the same deal
+Prometheus users get — and the math is covered by dedicated tests,
+including the empty-histogram (``None``) and single-sample edge cases.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Seconds-scaled buckets covering micro-encode spans (~100 µs) through
+#: slow cold compiles (tens of seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items())
+    )
+    return "{%s}" % inner
+
+
+class Counter:
+    """Monotonically increasing count (rendered with a ``_total`` suffix)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[dict] = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> Iterable[str]:
+        yield "%s_total%s %s" % (
+            self.name, _format_labels(self.labels), _format_value(self.value),
+        )
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go either way (queue depth, resident sessions)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[dict] = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> Iterable[str]:
+        yield "%s%s %s" % (
+            self.name, _format_labels(self.labels), _format_value(self.value),
+        )
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` semantics.
+
+    ``bounds`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches the rest.  ``observe`` finds the first bound >= the sample
+    (``le`` is inclusive, matching Prometheus) via bisect.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Optional[dict] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Histogram-quantile estimate of the ``p``-th percentile.
+
+        ``None`` on an empty histogram.  Linear interpolation within the
+        bucket the rank lands in; ranks in the ``+Inf`` bucket clamp to
+        the highest finite bound (there is no upper edge to interpolate
+        toward — same convention as ``histogram_quantile``).
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return None
+        rank = (p / 100.0) * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                within = (rank - previous) / bucket_count
+                return lower + (upper - lower) * within
+        return self.bounds[-1]
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc_sum = self._sum
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            cumulative += bucket_count
+            labels = dict(self.labels)
+            labels["le"] = _format_value(bound)
+            yield "%s_bucket%s %d" % (self.name, _format_labels(labels), cumulative)
+        labels = dict(self.labels)
+        labels["le"] = "+Inf"
+        yield "%s_bucket%s %d" % (self.name, _format_labels(labels), total)
+        yield "%s_sum%s %s" % (
+            self.name, _format_labels(self.labels), _format_value(acc_sum),
+        )
+        yield "%s_count%s %d" % (self.name, _format_labels(self.labels), total)
+
+    def snapshot_value(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for metrics, with Prometheus rendering.
+
+    Families are keyed by ``(name, sorted label items)`` so repeated
+    lookups return the same instrument — callers never hold references
+    across module boundaries, they just re-ask the registry.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        "metric %r already registered as %s"
+                        % (name, existing.kind)
+                    )
+                return existing
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Optional[dict] = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Optional[dict] = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Optional[dict] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def render_prometheus(self) -> str:
+        """Text exposition of every registered metric (``# HELP``/``# TYPE``)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: list[str] = []
+        seen_headers: set = set()
+        for metric in sorted(metrics, key=lambda m: m.name):
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append("# HELP %s %s" % (metric.name, metric.help))
+                lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """Flat JSON-ready view: counters/gauges as numbers, histograms as
+        ``{count, sum, p50, p95}`` dicts."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        out: dict = {}
+        for (name, label_items), metric in sorted(metrics):
+            key = name + _format_labels(dict(label_items))
+            out[key] = metric.snapshot_value()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation only)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry the instrumented layers record into.
+REGISTRY = MetricsRegistry()

@@ -13,7 +13,8 @@ into a long-running service built from four pieces:
   version is compiled exactly once across all clients;
 * :mod:`~repro.serve.protocol` — a length-prefixed JSON wire protocol
   (``compile`` / ``localize`` / ``localize_batch`` / ``stats`` /
-  ``shutdown``) shared by the asyncio server and the blocking client;
+  ``metrics`` / ``shutdown``, with an optional per-request ``trace_id``)
+  shared by the asyncio server and the blocking client;
 * :class:`~repro.serve.workers.WorkerPool` — persistent worker processes,
   each holding an LRU of warm :class:`~repro.core.session.LocalizationSession`\\ s
   keyed by artifact hash, behind a scheduler that batches tests by program
@@ -39,6 +40,7 @@ Quick use::
 from repro.serve.client import Client, ServeError
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    TRACE_FIELD,
     ProtocolError,
     canonical_report_bytes,
     report_to_wire,
@@ -60,6 +62,7 @@ __all__ = [
     "ServeShardError",
     "ServerThread",
     "StoreStats",
+    "TRACE_FIELD",
     "WorkerPool",
     "canonical_report_bytes",
     "report_to_wire",

@@ -134,6 +134,7 @@ class Client:
         name: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
         base_artifact: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> dict:
         merged = dict(options or {})
         if name is not None:
@@ -145,6 +146,8 @@ class Client:
         }
         if base_artifact is not None:
             payload["base_artifact"] = base_artifact
+        if trace_id is not None:
+            payload[protocol.TRACE_FIELD] = trace_id
         return self.request(payload)
 
     def localize(
@@ -155,6 +158,7 @@ class Client:
         artifact: Optional[str] = None,
         nondet: Sequence[int] = (),
         options: Optional[Mapping[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> dict:
         if (program is None) == (artifact is None):
             raise ValueError("pass exactly one of program= or artifact=")
@@ -171,9 +175,15 @@ class Client:
             payload["artifact"] = artifact
         if options:
             payload["options"] = dict(options)
+        if trace_id is not None:
+            payload[protocol.TRACE_FIELD] = trace_id
         return self.request(payload)
 
-    def localize_batch(self, requests: Sequence[Mapping[str, Any]]) -> dict:
+    def localize_batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+        trace_id: Optional[str] = None,
+    ) -> dict:
         """Run a batch; each entry mirrors :meth:`localize` but with ``tests``.
 
         Entry shape: ``{"program": src | "artifact": key, "options": {...},
@@ -192,10 +202,18 @@ class Client:
                 for test in entry["tests"]
             ]
             wire_entries.append(wire_entry)
-        return self.request({"op": "localize_batch", "requests": wire_entries})
+        payload: dict[str, Any] = {"op": "localize_batch", "requests": wire_entries}
+        if trace_id is not None:
+            payload[protocol.TRACE_FIELD] = trace_id
+        return self.request(payload)
 
     def stats(self) -> dict:
+        """Cumulative counters plus the windowed deltas since the last poll."""
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict:
+        """The daemon's metrics registry: Prometheus text plus a flat snapshot."""
+        return self.request({"op": "metrics"})
 
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

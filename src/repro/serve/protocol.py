@@ -3,7 +3,13 @@
 A frame is a 4-byte big-endian unsigned length followed by that many bytes
 of UTF-8 JSON.  Requests and responses are JSON objects; every request
 carries an ``"op"`` (``compile`` / ``localize`` / ``localize_batch`` /
-``stats`` / ``shutdown``) and every response an ``"ok"`` boolean.  The
+``stats`` / ``metrics`` / ``shutdown``) and every response an ``"ok"``
+boolean.  A request may carry an optional ``"trace_id"``
+(:data:`TRACE_FIELD`) naming the distributed trace the daemon should join
+— a router that already opened a trace passes its id so the daemon-side
+spans stitch under it; otherwise the daemon mints one.  Every response
+echoes the ``trace_id`` that was used (plus, with ``REPRO_TRACE=export``,
+the ``trace_path`` the Chrome trace-event file was written to).  The
 framing functions validate hard before allocating: a length of zero, a
 length above :data:`MAX_FRAME_BYTES` (a garbage header read as a huge
 integer), truncated bodies and non-JSON bodies all raise
@@ -34,6 +40,10 @@ from repro.spec import Specification
 #: *inbound* bound per instance (``LocalizationServer(max_frame_bytes=...)``)
 #: without affecting what they are allowed to send back.
 MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Optional request field carrying the caller's distributed trace id; the
+#: response always echoes the id the daemon used (supplied or minted).
+TRACE_FIELD = "trace_id"
 
 _HEADER = struct.Struct("!I")
 

@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
+from repro import obs
 from repro.lang.diagnostics import diagnostics_to_wire
 from repro.serve import protocol
 from repro.serve.store import (
@@ -95,6 +96,13 @@ class LocalizationServer:
         self.localizations_served = 0
         self.protocol_errors = 0
         self.started_at = time.time()
+        #: Windowed-delta state of the ``stats`` op: a monotonically
+        #: increasing poll sequence number plus the counter values seen at
+        #: the previous poll, so two consecutive polls yield rates without
+        #: any client-side bookkeeping.  Mutated only inside the ``stats``
+        #: handler, which runs on the event loop — naturally serialized.
+        self._stats_seq = 0
+        self._stats_prev: tuple[float, dict] = (time.monotonic(), {})
         self._servers: list[asyncio.AbstractServer] = []
         self._unix_path: Optional[Path] = None
         self._tcp_address: Optional[tuple[str, int]] = None
@@ -225,29 +233,60 @@ class LocalizationServer:
             "localize": self._op_localize,
             "localize_batch": self._op_localize_batch,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "shutdown": self._op_shutdown,
         }
         handler = handlers.get(op)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
+        # One trace per request, minted here (or adopted from the client's
+        # optional ``trace_id`` field).  Explicitly finished, never bound to
+        # the event-loop thread: interleaved awaits of concurrent requests
+        # would corrupt any thread-local nesting.
+        wire_trace_id = request.get(protocol.TRACE_FIELD)
+        request_trace = obs.start_request_trace(
+            f"serve.{op}",
+            trace_id=wire_trace_id if isinstance(wire_trace_id, str) else None,
+            op=op,
+        )
         try:
-            return await handler(request)
+            response = await handler(request, request_trace.ctx)
         except CompileRejectedError as exc:
             # The program itself is bad (parse/type error, or the static
             # analyzer proved a hard error): a structured rejection, not a
             # worker traceback.
-            return {
+            response = {
                 "ok": False,
                 "error": str(exc),
                 "error_kind": "rejected",
                 "diagnostics": diagnostics_to_wire(exc.diagnostics),
             }
         except (protocol.ProtocolError, ValueError, KeyError, TypeError) as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         except ServeShardError as exc:
-            return {"ok": False, "error": str(exc)}
+            response = {"ok": False, "error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - the daemon must outlive any request
-            return {"ok": False, "error": f"internal error: {type(exc).__name__}: {exc}"}
+            response = {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+        request_trace.set(ok=bool(response.get("ok")))
+        request_trace.finish()
+        response[protocol.TRACE_FIELD] = request_trace.trace_id
+        if request_trace.export_path is not None:
+            response["trace_path"] = request_trace.export_path
+        registry = obs.REGISTRY
+        registry.counter(
+            "repro_serve_requests", "Requests dispatched", labels={"op": str(op)}
+        ).inc()
+        if not response.get("ok"):
+            registry.counter(
+                "repro_serve_errors", "Requests answered with ok=false"
+            ).inc()
+        registry.histogram(
+            "repro_serve_request_seconds", "Request latency at the frontend"
+        ).observe(request_trace.duration)
+        return response
 
     # ---------------------------------------------------------------- compile
 
@@ -281,19 +320,25 @@ class LocalizationServer:
             )
         return key, compiled
 
-    async def _op_compile(self, request: Mapping[str, Any]) -> dict:
+    async def _op_compile(
+        self, request: Mapping[str, Any], trace_ctx: Optional[tuple] = None
+    ) -> dict:
         if "program" not in request:
             raise ValueError("compile needs 'program' source text")
         compile_options, _ = _split_options(request.get("options"))
         base = request.get("base_artifact")
         loop = asyncio.get_running_loop()
+
+        def compile_bound():
+            with obs.bind_trace(trace_ctx):
+                return self.store.get_or_compile(
+                    str(request["program"]),
+                    compile_options,
+                    base_artifact=str(base) if base is not None else None,
+                )
+
         key, compiled, source = await loop.run_in_executor(
-            self._executor,
-            lambda: self.store.get_or_compile(
-                str(request["program"]),
-                compile_options,
-                base_artifact=str(base) if base is not None else None,
-            ),
+            self._executor, compile_bound
         )
         return {
             "ok": True,
@@ -334,7 +379,9 @@ class LocalizationServer:
         nondet = tuple(int(v) for v in test.get("nondet", ()))
         return inputs, spec, nondet
 
-    async def _op_localize(self, request: Mapping[str, Any]) -> dict:
+    async def _op_localize(
+        self, request: Mapping[str, Any], trace_ctx: Optional[tuple] = None
+    ) -> dict:
         entry = {
             k: request[k]
             for k in ("program", "artifact", "options")
@@ -347,7 +394,7 @@ class LocalizationServer:
                 "nondet": request.get("nondet", []),
             }
         ]
-        batch = await self._run_batch([entry])
+        batch = await self._run_batch([entry], trace_ctx)
         result = batch[0]
         return {
             "ok": True,
@@ -355,14 +402,18 @@ class LocalizationServer:
             "report": result["reports"][0],
         }
 
-    async def _op_localize_batch(self, request: Mapping[str, Any]) -> dict:
+    async def _op_localize_batch(
+        self, request: Mapping[str, Any], trace_ctx: Optional[tuple] = None
+    ) -> dict:
         entries = request.get("requests")
         if not isinstance(entries, list) or not entries:
             raise ValueError("localize_batch needs a non-empty 'requests' list")
-        results = await self._run_batch(entries)
+        results = await self._run_batch(entries, trace_ctx)
         return {"ok": True, "results": results}
 
-    async def _run_batch(self, entries: list) -> list[dict]:
+    async def _run_batch(
+        self, entries: list, trace_ctx: Optional[tuple] = None
+    ) -> list[dict]:
         """Resolve artifacts, split cached/uncached, shard the rest.
 
         Tests are batched by version: all uncached tests that target one
@@ -371,9 +422,22 @@ class LocalizationServer:
         "many tests, few programs" shape directly.
         """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, self._run_batch_sync, entries)
+        return await loop.run_in_executor(
+            self._executor, self._run_batch_sync, entries, trace_ctx
+        )
 
-    def _run_batch_sync(self, entries: list) -> list[dict]:
+    def _run_batch_sync(
+        self, entries: list, trace_ctx: Optional[tuple] = None
+    ) -> list[dict]:
+        # One request per executor thread at a time, so binding the
+        # request's trace context thread-locally here is safe — compiles
+        # and job dispatch below record under the request's root span.
+        with obs.bind_trace(trace_ctx):
+            return self._run_batch_traced(entries, trace_ctx)
+
+    def _run_batch_traced(
+        self, entries: list, trace_ctx: Optional[tuple]
+    ) -> list[dict]:
         # Per entry: resolve artifact + options, decode tests.
         resolved: list[dict] = []
         jobs: dict[tuple, Job] = {}
@@ -406,6 +470,7 @@ class LocalizationServer:
                         artifact_bytes=_serializer(compiled),
                         session_options=session_options,
                         tests=[],
+                        trace_ctx=trace_ctx,
                     )
                     jobs[job_key] = job
                 job.tests.append((request_id, inputs, spec, nondet))
@@ -443,10 +508,12 @@ class LocalizationServer:
 
     # ------------------------------------------------------------------ stats
 
-    async def _op_stats(self, request: Mapping[str, Any]) -> dict:
+    async def _op_stats(
+        self, request: Mapping[str, Any], trace_ctx: Optional[tuple] = None
+    ) -> dict:
         from repro.encoding import encode_backend
 
-        return {
+        response = {
             "ok": True,
             "server": {
                 "requests_served": self.requests_served,
@@ -459,10 +526,83 @@ class LocalizationServer:
             "result_cache": self.result_cache.as_dict(),
             "pool": self.pool.stats.as_dict(),
         }
+        # Windowed deltas: cumulative counters alone force every client to
+        # keep its own previous sample to compute a rate.  Each poll gets a
+        # monotonic ``snapshot_seq`` and the counter deltas since the
+        # previous poll (the first window spans from server start), so two
+        # consecutive polls — by whoever — always describe a closed window.
+        now = time.monotonic()
+        current = _flatten_counters(response)
+        prev_time, prev_counters = self._stats_prev
+        self._stats_seq += 1
+        self._stats_prev = (now, current)
+        response["snapshot_seq"] = self._stats_seq
+        response["window"] = {
+            "seconds": round(now - prev_time, 6),
+            "deltas": {
+                key: value - prev_counters.get(key, 0)
+                for key, value in current.items()
+            },
+        }
+        return response
 
-    async def _op_shutdown(self, request: Mapping[str, Any]) -> dict:
+    async def _op_metrics(
+        self, request: Mapping[str, Any], trace_ctx: Optional[tuple] = None
+    ) -> dict:
+        """The process metrics in Prometheus text exposition format.
+
+        The span-fed histograms and solver counters accumulate in
+        :data:`repro.obs.REGISTRY` as requests run; the store/cache/pool
+        snapshot counters are folded in as gauges at scrape time, so one
+        scrape sees every layer under one naming scheme.
+        """
+        registry = obs.REGISTRY
+        stats_sources = {
+            "store": self.store.stats.as_dict(),
+            "result_cache": self.result_cache.as_dict(),
+            "pool": self.pool.stats.as_dict(),
+        }
+        for section, values in stats_sources.items():
+            for name, value in values.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    registry.gauge(
+                        f"repro_{section}_{name}",
+                        f"serve {section} counter {name!r}",
+                    ).set(value)
+        registry.gauge(
+            "repro_serve_uptime_seconds", "Seconds since daemon start"
+        ).set(round(time.time() - self.started_at, 3))
+        return {
+            "ok": True,
+            "metrics": registry.render_prometheus(),
+            "snapshot": registry.snapshot(),
+        }
+
+    async def _op_shutdown(
+        self, request: Mapping[str, Any], trace_ctx: Optional[tuple] = None
+    ) -> dict:
         self.shutdown()
         return {"ok": True, "stopping": True}
+
+
+def _flatten_counters(stats_response: Mapping[str, Any]) -> dict[str, float]:
+    """Flatten a stats response's numeric counters to dotted keys.
+
+    Only counter-like numbers participate in the window deltas; gauges
+    that are not cumulative (``uptime_seconds``, the per-worker report
+    dicts) are excluded.
+    """
+    flat: dict[str, float] = {}
+    for section in ("server", "store", "result_cache", "pool"):
+        values = stats_response.get(section)
+        if not isinstance(values, Mapping):
+            continue
+        for name, value in values.items():
+            if name == "uptime_seconds" or isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                flat[f"{section}.{name}"] = value
+    return flat
 
 
 def _serializer(compiled):

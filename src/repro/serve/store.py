@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Optional
 
+from repro import obs
 from repro.analysis.impact import fingerprint_program
 from repro.bmc import BoundedModelChecker, CompiledProgram
 from repro.bmc.compiled import (
@@ -244,9 +245,11 @@ class ArtifactStore:
                 pending.wait()
                 continue
             try:
-                compiled, warm_from = self._compile(
-                    program_text, normalized, base_artifact
-                )
+                with obs.span("store.compile", key=key[:12]) as compile_span:
+                    compiled, warm_from = self._compile(
+                        program_text, normalized, base_artifact
+                    )
+                    compile_span.set(warm=warm_from is not None)
                 with self._lock:
                     self.stats.compiles += 1
                     if warm_from is not None:

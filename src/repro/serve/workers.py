@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro import obs
 from repro.core.report import LocalizationReport
 
 #: A single localization inside a shard:
@@ -52,6 +53,10 @@ class Job:
     artifact_bytes: Callable[[], bytes]
     session_options: dict
     tests: list[ShardTest]
+    #: The request's forwarded ``(trace_id, parent_span_id)``; rides every
+    #: shard message so worker-side spans stitch into the request's trace.
+    #: ``None`` when tracing is off.
+    trace_ctx: Optional[tuple] = None
 
 
 @dataclass
@@ -296,37 +301,58 @@ class WorkerPool:
     ) -> dict[object, LocalizationReport]:
         self.stats.shards_dispatched += 1
         key = shard.job.artifact_key
-        try:
-            with worker.lock:
-                if worker.conn is None or worker.conn.closed:
-                    raise BrokenPipeError("worker connection is closed")
-                include_bytes = key not in worker.artifacts
-                blob = shard.job.artifact_bytes() if include_bytes else None
-                worker.conn.send(
-                    ("shard", key, blob, shard.job.session_options, shard.tests)
-                )
-                reply = self._recv_reply(worker)
-                if reply[0] == "need-artifact":
-                    # The worker evicted the artifact since we last sent it.
-                    self.stats.artifact_resends += 1
+        # Dispatcher threads interleave shards of different requests, so the
+        # span is attached by explicit context (never thread-local); its own
+        # id becomes the parent of the worker-side spans.
+        with obs.attached_span(
+            shard.job.trace_ctx,
+            "serve.shard",
+            worker=worker.index,
+            artifact=key[:12],
+            tests=len(shard.tests),
+        ) as dispatch_span:
+            worker_ctx = dispatch_span.ctx or shard.job.trace_ctx
+            try:
+                with worker.lock:
+                    if worker.conn is None or worker.conn.closed:
+                        raise BrokenPipeError("worker connection is closed")
+                    include_bytes = key not in worker.artifacts
+                    blob = shard.job.artifact_bytes() if include_bytes else None
                     worker.conn.send(
                         (
                             "shard",
                             key,
-                            shard.job.artifact_bytes(),
+                            blob,
                             shard.job.session_options,
                             shard.tests,
+                            worker_ctx,
                         )
                     )
                     reply = self._recv_reply(worker)
-        except (BrokenPipeError, EOFError, OSError) as exc:
-            return self._retry_dead_worker(worker, shard, retried, exc)
-        if reply[0] == "error":
-            _, label, detail = reply
-            raise ServeShardError(
-                f"worker {worker.index} failed localizing {label}: {detail}"
-            )
-        _, shard_results, worker_report = reply
+                    if reply[0] == "need-artifact":
+                        # The worker evicted the artifact since we last sent it.
+                        self.stats.artifact_resends += 1
+                        worker.conn.send(
+                            (
+                                "shard",
+                                key,
+                                shard.job.artifact_bytes(),
+                                shard.job.session_options,
+                                shard.tests,
+                                worker_ctx,
+                            )
+                        )
+                        reply = self._recv_reply(worker)
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                return self._retry_dead_worker(worker, shard, retried, exc)
+            if reply[0] == "error":
+                _, label, detail = reply
+                raise ServeShardError(
+                    f"worker {worker.index} failed localizing {label}: {detail}"
+                )
+            _, shard_results, worker_report, worker_spans = reply
+            if shard.job.trace_ctx is not None:
+                obs.merge_spans(shard.job.trace_ctx[0], worker_spans)
         worker.artifacts.add(key)
         self.stats.worker_reports[worker.index] = worker_report
         return dict(shard_results)
@@ -406,7 +432,7 @@ def _worker_main(conn, max_sessions: int) -> None:
         if message[0] != "shard":  # pragma: no cover - defensive
             conn.send(("error", "protocol", f"unknown message {message[0]!r}"))
             continue
-        _, key, blob, options, tests = message
+        _, key, blob, options, tests, trace_ctx = message
         try:
             if blob is not None and key not in artifacts:
                 from repro.bmc.compiled import loads_artifact
@@ -423,28 +449,34 @@ def _worker_main(conn, max_sessions: int) -> None:
                 options.get("warm_start", True),
                 options.get("static_pruning", True),
             )
-            session = sessions.get(session_key)
-            if session is None:
-                session = LocalizationSession.from_compiled(
-                    artifacts[key],
-                    strategy=session_key[1],
-                    max_candidates=session_key[2],
-                    hard_lines=session_key[3],
-                    warm_start=session_key[4],
-                    static_pruning=session_key[5],
-                )
-                sessions[session_key] = session
-            sessions.move_to_end(session_key)
-            evicted += _evict_sessions(sessions, artifacts, max_sessions)
-            results = []
-            session.pin()
-            try:
-                for request_id, inputs, spec, nondet in tests:
-                    report = session.localize(inputs, spec, nondet_values=nondet)
-                    results.append((request_id, report))
-                    localized += 1
-            finally:
-                session.unpin()
+            with obs.remote_trace(trace_ctx) as trace_bundle:
+                with obs.span("worker.shard", tests=len(tests)) as shard_span:
+                    session = sessions.get(session_key)
+                    if session is None:
+                        with obs.span("worker.session_load"):
+                            session = LocalizationSession.from_compiled(
+                                artifacts[key],
+                                strategy=session_key[1],
+                                max_candidates=session_key[2],
+                                hard_lines=session_key[3],
+                                warm_start=session_key[4],
+                                static_pruning=session_key[5],
+                            )
+                        sessions[session_key] = session
+                        shard_span.set(session="cold")
+                    sessions.move_to_end(session_key)
+                    evicted += _evict_sessions(sessions, artifacts, max_sessions)
+                    results = []
+                    session.pin()
+                    try:
+                        for request_id, inputs, spec, nondet in tests:
+                            report = session.localize(
+                                inputs, spec, nondet_values=nondet
+                            )
+                            results.append((request_id, report))
+                            localized += 1
+                    finally:
+                        session.unpin()
             conn.send(
                 (
                     "ok",
@@ -459,6 +491,7 @@ def _worker_main(conn, max_sessions: int) -> None:
                         ),
                         "last_request_profile": session.last_request_profile,
                     },
+                    trace_bundle.spans,
                 )
             )
         except Exception as exc:  # noqa: BLE001 - reported to the parent

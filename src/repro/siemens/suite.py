@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core import LocalizationSession, Specification
 from repro.lang import Interpreter
 from repro.siemens.faults import FaultVersion
@@ -112,20 +113,22 @@ def run_tcas_version(
     program = tcas_faulty_program(version)
     fault_lines = set(fault.fault_lines)
     selected = failing if max_localized_tests is None else failing[:max_localized_tests]
-    with LocalizationSession(
-        program, strategy=strategy, hard_lines=TCAS_HARNESS_LINES
-    ) as session:
-        for vector, expected in selected:
-            started = time.perf_counter()
-            report = session.localize(
-                vector.as_list(), Specification.return_value(expected)
-            )
-            elapsed = time.perf_counter() - started
-            result.runs += 1
-            result.total_time += elapsed
-            result.reported_lines.update(report.lines)
-            if any(line in fault_lines for line in report.lines):
-                result.detected += 1
+    # One trace per version run: with REPRO_TRACE=export this writes a
+    # Chrome trace of the whole compile-once/localize-many protocol.
+    with obs.trace(f"tcas.{version}", attrs={"tests": len(selected)}):
+        with LocalizationSession(
+            program, strategy=strategy, hard_lines=TCAS_HARNESS_LINES
+        ) as session:
+            for vector, expected in selected:
+                with obs.span("tcas.localize") as timed:
+                    report = session.localize(
+                        vector.as_list(), Specification.return_value(expected)
+                    )
+                result.runs += 1
+                result.total_time += timed.duration
+                result.reported_lines.update(report.lines)
+                if any(line in fault_lines for line in report.lines):
+                    result.detected += 1
     return result
 
 
@@ -247,8 +250,17 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
 
     The failing test's trace formula is built twice — without and with the
     benchmark's designated trace-reduction techniques — and BugAssist then
-    localizes on the reduced formula.
+    localizes on the reduced formula.  Each run opens one trace
+    (``bench.<name>``), so ``REPRO_TRACE=export`` yields a per-row Chrome
+    trace; the cold/warm encode times are span durations.
     """
+    with obs.trace(
+        f"bench.{benchmark.name}", attrs={"reduction": benchmark.reduction}
+    ):
+        return _run_large_benchmark(benchmark, max_candidates)
+
+
+def _run_large_benchmark(benchmark, max_candidates: int) -> LargeBenchmarkResult:
     from repro.concolic import ConcolicTracer
     from repro.core.localizer import BugAssistLocalizer
     from repro.reduction import minimize_failing_input, sliced_tracer_settings
@@ -274,11 +286,11 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     from repro.bmc import BoundedModelChecker
     from repro.bmc.splice import splice_compile
 
-    encode_started = time.perf_counter()
-    cold_compiled = BoundedModelChecker(
-        faulty, group_statements=True
-    ).compile_program()
-    result.encode_time_cold = time.perf_counter() - encode_started
+    with obs.span("bench.encode_cold") as cold_span:
+        cold_compiled = BoundedModelChecker(
+            faulty, group_statements=True
+        ).compile_program()
+    result.encode_time_cold = cold_span.duration
     cold_profile = cold_compiled.encode_profile()
     result.encode_backend = cold_profile.get("encode_backend", "")
     result.encode_phases = {
@@ -293,24 +305,26 @@ def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkRes
     # run did (plus the base artifact a warm client genuinely holds).
     del cold_compiled
     gc.collect()
-    encode_started = time.perf_counter()
     splice_outcome: dict = {}
-    warm_compiled = splice_compile(
-        reference_compiled,
-        BoundedModelChecker(faulty, group_statements=True),
-        base_key=f"{benchmark.name}-reference",
-        outcome=splice_outcome,
-    )
-    if warm_compiled is None:
-        # Declined: the honest warm number is decline-check plus cold run.
-        result.splice_declined_early = bool(splice_outcome.get("declined_early"))
-        warm_compiled = BoundedModelChecker(
-            faulty, group_statements=True
-        ).compile_program()
-    else:
-        result.warm_spliced = True
-        result.impact_fraction = warm_compiled.impact_fraction
-    result.encode_time_warm = time.perf_counter() - encode_started
+    with obs.span("bench.encode_warm") as warm_span:
+        warm_compiled = splice_compile(
+            reference_compiled,
+            BoundedModelChecker(faulty, group_statements=True),
+            base_key=f"{benchmark.name}-reference",
+            outcome=splice_outcome,
+        )
+        if warm_compiled is None:
+            # Declined: the honest warm number is decline-check plus cold run.
+            result.splice_declined_early = bool(
+                splice_outcome.get("declined_early")
+            )
+            warm_compiled = BoundedModelChecker(
+                faulty, group_statements=True
+            ).compile_program()
+        else:
+            result.warm_spliced = True
+            result.impact_fraction = warm_compiled.impact_fraction
+    result.encode_time_warm = warm_span.duration
     if warm_compiled.signature != cold_signature:
         raise AssertionError(
             f"{benchmark.name}: warm encode diverged from cold"
