@@ -38,6 +38,7 @@ from repro.obs.trace import (
     trace,
     trace_export_dir,
     tracing_mode,
+    valid_trace_id,
 )
 from repro.obs.export import export_trace, to_chrome_trace, validate_chrome_trace
 
@@ -68,5 +69,6 @@ __all__ = [
     "trace",
     "trace_export_dir",
     "tracing_mode",
+    "valid_trace_id",
     "validate_chrome_trace",
 ]

@@ -17,7 +17,7 @@ import json
 import os
 from typing import Optional
 
-from repro.obs.trace import TraceCollector, trace_export_dir
+from repro.obs.trace import TraceCollector, trace_export_dir, valid_trace_id
 
 __all__ = ["to_chrome_trace", "validate_chrome_trace", "export_trace"]
 
@@ -101,13 +101,22 @@ def export_trace(
     if not spans:
         return None
     out_dir = directory or trace_export_dir()
+    # The id becomes a filename, and ids can come from outside the
+    # process (the wire ``trace_id`` field) — the serve frontend already
+    # rejects malformed ones, but never trust that here: an id that is
+    # not plain hex must not steer the write outside the trace dir.
+    trace_id = collector.trace_id
+    if not valid_trace_id(trace_id):
+        trace_id = "".join(c if c.isalnum() else "_" for c in trace_id)[:64] or "trace"
     try:
         os.makedirs(out_dir, exist_ok=True)
-        path = os.path.join(out_dir, "%s.trace.json" % collector.trace_id)
+        path = os.path.join(out_dir, "%s.trace.json" % trace_id)
+        if os.path.dirname(os.path.abspath(path)) != os.path.abspath(out_dir):
+            return None
         with open(path, "w") as handle:
-            json.dump(to_chrome_trace(spans, collector.trace_id), handle, indent=1)
+            json.dump(to_chrome_trace(spans, trace_id), handle, indent=1)
             handle.write("\n")
-        _append_log_line(out_dir, collector.trace_id, root_name, spans)
+        _append_log_line(out_dir, trace_id, root_name, spans)
         return path
     except OSError:
         return None

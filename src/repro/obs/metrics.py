@@ -72,6 +72,14 @@ class Counter:
         self._value = 0.0
         self._lock = threading.Lock()
 
+    @property
+    def family_name(self) -> str:
+        # Prometheus text-format parsers group samples by the name on the
+        # TYPE line, so the header must carry the same ``_total`` suffix
+        # as the rendered sample — a bare-name header leaves the samples
+        # untyped (and trips promtool/OpenMetrics ingestion).
+        return self.name + "_total"
+
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
@@ -103,6 +111,10 @@ class Gauge:
         self.labels = dict(labels or {})
         self._value = 0.0
         self._lock = threading.Lock()
+
+    @property
+    def family_name(self) -> str:
+        return self.name
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -158,6 +170,10 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
         self._lock = threading.Lock()
+
+    @property
+    def family_name(self) -> str:
+        return self.name
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -283,11 +299,12 @@ class MetricsRegistry:
         lines: list[str] = []
         seen_headers: set = set()
         for metric in sorted(metrics, key=lambda m: m.name):
-            if metric.name not in seen_headers:
-                seen_headers.add(metric.name)
+            family = metric.family_name
+            if family not in seen_headers:
+                seen_headers.add(family)
                 if metric.help:
-                    lines.append("# HELP %s %s" % (metric.name, metric.help))
-                lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+                    lines.append("# HELP %s %s" % (family, metric.help))
+                lines.append("# TYPE %s %s" % (family, metric.kind))
             lines.extend(metric.render())
         return "\n".join(lines) + ("\n" if lines else "")
 

@@ -49,6 +49,7 @@ every finished root trace to ``$REPRO_TRACE_DIR`` (default
 from __future__ import annotations
 
 import os
+import re
 import threading
 import time
 import weakref
@@ -69,6 +70,7 @@ __all__ = [
     "start_request_trace",
     "trace",
     "tracing_mode",
+    "valid_trace_id",
 ]
 
 #: The tracing knob.  Orthogonal to the ``REPRO_PROPAGATION`` /
@@ -107,6 +109,20 @@ def trace_export_dir() -> str:
 def new_trace_id() -> str:
     """A fresh 16-hex-digit trace id."""
     return os.urandom(8).hex()
+
+
+_TRACE_ID_RE = re.compile(r"[0-9a-f]{8,32}")
+
+
+def valid_trace_id(value: object) -> bool:
+    """Whether ``value`` is a well-formed trace id (8–32 lowercase hex).
+
+    Anything adopting an id from outside the process (the serve frontend
+    reading the wire ``trace_id`` field) must check it first: the id
+    names the export file, so a free-form string is a path-injection
+    surface (``trace_id="../../etc/x"`` would escape the trace dir).
+    """
+    return isinstance(value, str) and _TRACE_ID_RE.fullmatch(value) is not None
 
 
 def _new_span_id() -> str:
@@ -535,23 +551,29 @@ def remote_trace(trace_ctx: Optional[tuple]) -> Iterator[RemoteSpans]:
         return
     trace_id, parent_id = trace_ctx
     collector = TraceCollector(trace_id)
-    # In a subprocess the registry slot is free; when the "remote" side
-    # actually shares the parent's process (thread executors, tests) the
-    # parent's collector already owns it — shadow it and restore on exit.
+    # In a subprocess the registry slot is free — claim it so explicit-
+    # context helpers resolve to this shard's collector.  When the
+    # "remote" side actually shares the parent's process (thread
+    # executors, tests) the parent's live collector already owns the
+    # slot; leave it alone — spans opened under the TLS context below
+    # still land in this shard's collector, and id-keyed lookups hit the
+    # parent directly.  (Never shadow-and-restore: two concurrent same-
+    # process shards exiting non-LIFO would restore a stale, finished
+    # collector and silently drop later spans.)
     with _ACTIVE_LOCK:
-        shadowed = _ACTIVE.get(trace_id)
-        _ACTIVE[trace_id] = collector
+        claimed = trace_id not in _ACTIVE
+        if claimed:
+            _ACTIVE[trace_id] = collector
     prev = _context()
     _TLS.ctx = (collector, parent_id)
     try:
         yield bundle
     finally:
         _TLS.ctx = prev
-        with _ACTIVE_LOCK:
-            if shadowed is not None:
-                _ACTIVE[trace_id] = shadowed
-            else:
-                _ACTIVE.pop(trace_id, None)
+        if claimed:
+            with _ACTIVE_LOCK:
+                if _ACTIVE.get(trace_id) is collector:
+                    _ACTIVE.pop(trace_id, None)
         bundle.spans = collector.spans()
 
 

@@ -221,7 +221,10 @@ class LocalizationServer:
             # client sees a clean close, the log stays quiet.
             pass
         finally:
-            with contextlib.suppress(Exception):
+            # CancelledError too: loop teardown cancels the handler again
+            # while it awaits wait_closed, and letting that escape logs an
+            # unhandled-exception callback on every shutdown.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
 
@@ -240,38 +243,48 @@ class LocalizationServer:
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
         # One trace per request, minted here (or adopted from the client's
-        # optional ``trace_id`` field).  Explicitly finished, never bound to
-        # the event-loop thread: interleaved awaits of concurrent requests
-        # would corrupt any thread-local nesting.
+        # optional ``trace_id`` field — only when well-formed: the id names
+        # the export file, so an unchecked wire string is a path-injection
+        # surface).  Explicitly finished, never bound to the event-loop
+        # thread: interleaved awaits of concurrent requests would corrupt
+        # any thread-local nesting.
         wire_trace_id = request.get(protocol.TRACE_FIELD)
         request_trace = obs.start_request_trace(
             f"serve.{op}",
-            trace_id=wire_trace_id if isinstance(wire_trace_id, str) else None,
+            trace_id=wire_trace_id if obs.valid_trace_id(wire_trace_id) else None,
             op=op,
         )
+        response: Optional[dict] = None
         try:
-            response = await handler(request, request_trace.ctx)
-        except CompileRejectedError as exc:
-            # The program itself is bad (parse/type error, or the static
-            # analyzer proved a hard error): a structured rejection, not a
-            # worker traceback.
-            response = {
-                "ok": False,
-                "error": str(exc),
-                "error_kind": "rejected",
-                "diagnostics": diagnostics_to_wire(exc.diagnostics),
-            }
-        except (protocol.ProtocolError, ValueError, KeyError, TypeError) as exc:
-            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        except ServeShardError as exc:
-            response = {"ok": False, "error": str(exc)}
-        except Exception as exc:  # noqa: BLE001 - the daemon must outlive any request
-            response = {
-                "ok": False,
-                "error": f"internal error: {type(exc).__name__}: {exc}",
-            }
-        request_trace.set(ok=bool(response.get("ok")))
-        request_trace.finish()
+            try:
+                response = await handler(request, request_trace.ctx)
+            except CompileRejectedError as exc:
+                # The program itself is bad (parse/type error, or the static
+                # analyzer proved a hard error): a structured rejection, not a
+                # worker traceback.
+                response = {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_kind": "rejected",
+                    "diagnostics": diagnostics_to_wire(exc.diagnostics),
+                }
+            except (protocol.ProtocolError, ValueError, KeyError, TypeError) as exc:
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            except ServeShardError as exc:
+                response = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - the daemon must outlive any request
+                response = {
+                    "ok": False,
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                }
+        finally:
+            # Must run even on CancelledError (client disconnect, server
+            # shutdown): finish() unregisters the trace's collector from
+            # the process-global registry — skipping it leaks one entry
+            # per cancelled request for the life of the daemon.
+            if response is not None:
+                request_trace.set(ok=bool(response.get("ok")))
+            request_trace.finish()
         response[protocol.TRACE_FIELD] = request_trace.trace_id
         if request_trace.export_path is not None:
             response["trace_path"] = request_trace.export_path

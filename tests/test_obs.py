@@ -10,7 +10,9 @@ over from PR 8's hand-rolled timers.
 
 from __future__ import annotations
 
+import asyncio
 import json
+from pathlib import Path
 
 import pytest
 
@@ -138,15 +140,17 @@ class TestRegistry:
         registry.counter("repro_reqs", labels={"op": "stats"}).inc()
         registry.histogram("repro_lat", buckets=(0.5,)).observe(0.1)
         text = registry.render_prometheus()
-        assert "# TYPE repro_reqs counter" in text
-        assert "# HELP repro_reqs requests" in text
+        # Counter headers carry the ``_total`` suffix of their samples —
+        # text-format parsers group samples by the TYPE-line name.
+        assert "# TYPE repro_reqs_total counter" in text
+        assert "# HELP repro_reqs_total requests" in text
         assert "repro_reqs_total 2" in text
         assert 'repro_reqs_total{op="stats"} 1' in text
         assert "# TYPE repro_lat histogram" in text
         assert 'repro_lat_bucket{le="0.5"} 1' in text
         assert "repro_lat_count 1" in text
         # One TYPE header per family even with labelled children.
-        assert text.count("# TYPE repro_reqs counter") == 1
+        assert text.count("# TYPE repro_reqs_total counter") == 1
 
     def test_snapshot_shapes(self):
         registry = MetricsRegistry()
@@ -224,6 +228,39 @@ class TestSpans:
     def test_merge_after_close_is_dropped(self):
         assert obs.merge_spans("deadbeef", [{"name": "late"}]) == 0
 
+    def test_valid_trace_id(self):
+        assert obs.valid_trace_id(obs.new_trace_id())
+        assert obs.valid_trace_id("deadbeef")
+        for bad in (
+            "../../etc/passwd",
+            "DEADBEEF",  # case-sensitive: only what new_trace_id mints
+            "abc",  # too short
+            "f" * 33,  # too long
+            "dead beef",
+            "",
+            7,
+            None,
+        ):
+            assert not obs.valid_trace_id(bad), bad
+
+    def test_concurrent_remote_shards_non_lifo_exit(self, monkeypatch):
+        # Two same-process shards of one trace exiting out of order must
+        # not leave a stale, finished collector in the registry — a late
+        # merge has to land in the parent's live collector.
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        with obs.trace("root") as handle:
+            ctx = obs.current_context()
+            first = obs.remote_trace(ctx)
+            second = obs.remote_trace(ctx)
+            first.__enter__()
+            second.__enter__()
+            first.__exit__(None, None, None)
+            second.__exit__(None, None, None)
+            assert obs.collector_for(handle.trace_id) is handle.collector
+            late = {"name": "late", "trace_id": handle.trace_id}
+            assert obs.merge_spans(handle.trace_id, [late]) == 1
+        assert any(s["name"] == "late" for s in handle.spans())
+
     def test_request_trace_is_explicit(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE", "on")
         request = obs.start_request_trace("serve.op", op="stats")
@@ -267,6 +304,32 @@ class TestChromeExport:
         record = json.loads(log_lines[-1])
         assert record["trace_id"] == handle.trace_id
         assert record["spans"] == 2
+
+    def test_hostile_trace_id_cannot_escape_export_dir(self, tmp_path):
+        # Defense in depth behind the frontend's wire-id validation: even a
+        # collector holding a path-shaped id must write inside the trace dir.
+        from repro.obs.export import export_trace
+        from repro.obs.trace import TraceCollector
+
+        out_dir = tmp_path / "inner" / "traces"
+        collector = TraceCollector("../../escape")
+        collector.add(
+            {
+                "trace_id": "../../escape",
+                "span_id": "aabbccdd",
+                "parent_id": None,
+                "name": "root",
+                "ts_us": 0,
+                "dur_us": 1,
+                "pid": 1,
+                "tid": 1,
+            }
+        )
+        path = export_trace(collector, root_name="root", directory=str(out_dir))
+        assert path is not None
+        assert Path(path).resolve().parent == out_dir.resolve()
+        assert not (tmp_path / "escape.trace.json").exists()
+        assert obs.validate_chrome_trace(json.loads(Path(path).read_text())) == []
 
     def test_validator_rejects_malformed(self):
         assert obs.validate_chrome_trace([]) != []
@@ -394,6 +457,34 @@ class TestServeObservability:
             reply = client.request({"op": "stats", "trace_id": chosen})
         assert reply["trace_id"] == chosen
 
+    def test_malformed_wire_trace_id_is_not_adopted(self, serve_thread):
+        # A path-shaped (or otherwise malformed) wire id names the export
+        # file, so the frontend mints a fresh id instead of adopting it.
+        with self._client(serve_thread) as client:
+            client.wait_until_ready()
+            reply = client.request({"op": "stats", "trace_id": "../../evil"})
+        assert reply["trace_id"] != "../../evil"
+        assert obs.valid_trace_id(reply["trace_id"])
+
+    def test_cancelled_request_still_unregisters_collector(self, monkeypatch):
+        # A client disconnect surfaces as CancelledError (a BaseException)
+        # inside the handler; the request trace must still be finished or
+        # its collector leaks in the process-global registry forever.
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        from repro.obs.trace import _ACTIVE
+        from repro.serve.server import LocalizationServer
+
+        server = LocalizationServer(workers=1)
+
+        async def cancelled_handler(request, trace_ctx):
+            raise asyncio.CancelledError
+
+        monkeypatch.setattr(server, "_op_stats", cancelled_handler)
+        before = dict(_ACTIVE)
+        with pytest.raises(asyncio.CancelledError):
+            asyncio.run(server._dispatch({"op": "stats"}))
+        assert _ACTIVE == before
+
     def test_stats_snapshot_seq_and_window(self, serve_thread):
         with self._client(serve_thread) as client:
             client.wait_until_ready()
@@ -422,7 +513,7 @@ class TestServeObservability:
             )
             reply = client.metrics()
         text = reply["metrics"]
-        assert "# TYPE repro_serve_requests counter" in text
+        assert "# TYPE repro_serve_requests_total counter" in text
         assert 'repro_serve_requests_total{op="localize"}' in text
         assert "repro_serve_request_seconds_bucket" in text
         snapshot = reply["snapshot"]
