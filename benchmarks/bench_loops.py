@@ -1,0 +1,160 @@
+"""Loop-bound planning benchmark: clauses and times, flat vs planned unwinding.
+
+Every program in the seeded-fault loop corpus
+(:mod:`repro.siemens.loop_corpus`) is compiled at several unwind depths,
+twice per depth — once with the flat global bound, once with per-loop
+unwind planning (:mod:`repro.analysis.loops`) — and localized on its
+recorded failing test.  Rows report clause counts, the clauses planning
+pruned, encode and solve wall times, and the candidate line sets of both
+configurations (with an explicit ``lines_equal`` flag: dropping a proven
+loop's unwinding assumption can legitimately shrink the relaxation space,
+so corpus-level equality is reported, not asserted — the hard differential
+gate lives in ``tests/test_loops.py::TestTable3Differential``).
+
+Besides the printed table the run writes ``BENCH_loops.json`` at the
+repository root so the clause/time trajectory is tracked across PRs.
+
+Run with ``pytest benchmarks/bench_loops.py --runslow``, directly with
+``python benchmarks/bench_loops.py``, or as the CI smoke with
+``python benchmarks/bench_loops.py --smoke`` (fewer depths, localization
+capped to small instances).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bmc import BoundedModelChecker
+from repro.core import LocalizationSession
+from repro.siemens.loop_corpus import LOOP_BENCHMARKS
+
+#: Machine-readable benchmark record, written next to ROADMAP.md.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_loops.json"
+
+FULL_PROTOCOL = {"unwinds": [8, 16, 32], "localize_clause_cap": 120_000}
+SMOKE_PROTOCOL = {"unwinds": [8, 16], "localize_clause_cap": 60_000}
+
+
+def _compile(program, unwind: int, planning: bool):
+    started = time.perf_counter()
+    compiled = BoundedModelChecker(
+        program,
+        unwind=unwind,
+        group_statements=True,
+        unwind_planning=planning,
+    ).compile_program()
+    return compiled, time.perf_counter() - started
+
+
+def _localize(bench, compiled):
+    started = time.perf_counter()
+    with LocalizationSession.from_compiled(compiled) as session:
+        report = session.localize(list(bench.failing_test), bench.specification())
+    return report, time.perf_counter() - started
+
+
+def run_benchmark(protocol: dict = FULL_PROTOCOL) -> dict:
+    rows = []
+    for bench in LOOP_BENCHMARKS:
+        program = bench.program()
+        for unwind in protocol["unwinds"]:
+            flat, encode_flat = _compile(program, unwind, planning=False)
+            planned, encode_planned = _compile(program, unwind, planning=True)
+            row = {
+                "name": bench.name,
+                "unwind": unwind,
+                "clauses_flat": flat.num_clauses,
+                "clauses_planned": planned.num_clauses,
+                "unwind_pruned_clauses": flat.num_clauses - planned.num_clauses,
+                "reduction_percent": round(
+                    100.0 * (1 - planned.num_clauses / flat.num_clauses), 1
+                ),
+                "planned_loops": planned.planned_loops,
+                "truncated_flat": bool(flat.truncated_loops),
+                "encode_s_flat": round(encode_flat, 4),
+                "encode_s_planned": round(encode_planned, 4),
+            }
+            if flat.num_clauses <= protocol["localize_clause_cap"]:
+                report_flat, solve_flat = _localize(bench, flat)
+                report_planned, solve_planned = _localize(bench, planned)
+                row.update(
+                    solve_s_flat=round(solve_flat, 4),
+                    solve_s_planned=round(solve_planned, 4),
+                    lines_flat=sorted(report_flat.lines),
+                    lines_planned=sorted(report_planned.lines),
+                    lines_equal=set(report_flat.lines) == set(report_planned.lines),
+                    fault_detected_flat=any(
+                        line in bench.fault_lines for line in report_flat.lines
+                    ),
+                    fault_detected=any(
+                        line in bench.fault_lines for line in report_planned.lines
+                    ),
+                )
+            rows.append(row)
+    payload = {
+        "protocol": protocol,
+        "rows": rows,
+        "best_reduction_percent": max(r["reduction_percent"] for r in rows),
+    }
+    BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _print_table(payload)
+    return payload
+
+
+def _print_table(payload: dict) -> None:
+    print()
+    print("Loop-bound planning — clauses and times, flat vs planned")
+    print(
+        f"{'program':14} {'unwind':>6} {'flat':>8} {'planned':>8} {'pruned':>7} "
+        f"{'red%':>5} {'enc-f(s)':>8} {'enc-p(s)':>8} {'sol-f(s)':>8} {'sol-p(s)':>8} {'lines=':>6}"
+    )
+    for row in payload["rows"]:
+        print(
+            f"{row['name']:14} {row['unwind']:>6} {row['clauses_flat']:>8} "
+            f"{row['clauses_planned']:>8} {row['unwind_pruned_clauses']:>7} "
+            f"{row['reduction_percent']:>5} {row['encode_s_flat']:>8} "
+            f"{row['encode_s_planned']:>8} "
+            f"{row.get('solve_s_flat', '-'):>8} {row.get('solve_s_planned', '-'):>8} "
+            f"{str(row.get('lines_equal', '-')):>6}"
+        )
+    print(f"best clause reduction: {payload['best_reduction_percent']}%")
+
+
+@pytest.mark.slow
+def test_loop_planning_benchmark():
+    """Planning prunes real clauses and no seeded fault goes dark.
+
+    Where the two candidate sets agree (``lines_equal``) the planned run
+    must keep the fault; where they diverge, each side can legitimately
+    miss it in its own way — countdown's repair (a smaller induction
+    step) needs 5 iterations against the faulty program's proven bound of
+    4, so it is unrepresentable once the unwinding assumption is dropped,
+    while nested_total's inner-guard fault hides from the *flat* run
+    among the 16 unrolled copies but surfaces under the exact 4-iteration
+    plan.  Every fault must be caught by at least one configuration.
+    """
+    payload = run_benchmark(SMOKE_PROTOCOL)
+    # The acceptance floor: at least one corpus program sheds >=30% of its
+    # clauses under planning at some measured depth.
+    assert payload["best_reduction_percent"] >= 30.0
+    localized = [row for row in payload["rows"] if "fault_detected" in row]
+    assert localized
+    assert all(
+        row["fault_detected"] or row["fault_detected_flat"] for row in localized
+    )
+    assert all(
+        row["fault_detected"] for row in localized if row["lines_equal"]
+    )
+    # Planning must never make an encoding larger.
+    assert all(row["unwind_pruned_clauses"] >= 0 for row in payload["rows"])
+
+
+if __name__ == "__main__":
+    protocol = SMOKE_PROTOCOL if "--smoke" in sys.argv else FULL_PROTOCOL
+    result = run_benchmark(protocol)
+    sys.exit(0 if result["best_reduction_percent"] >= 30.0 else 1)

@@ -195,6 +195,8 @@ def _write_bench_json() -> None:
             "simplifier": row.simplifier,
             "clauses_pruned": row.clauses_pruned,
             "narrowed_vars": row.narrowed_vars,
+            "unwind_pruned_clauses": row.unwind_pruned_clauses,
+            "planned_loops": row.planned_loops,
             "encode_time_cold": round(row.encode_time_cold, 4),
             "encode_time_warm": round(row.encode_time_warm, 4),
             "warm_spliced": row.warm_spliced,

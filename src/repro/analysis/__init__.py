@@ -41,6 +41,13 @@ from repro.analysis.impact import (
     program_line_map,
 )
 from repro.analysis.intervals import Interval, width_bounds
+from repro.analysis.loops import (
+    LoopBound,
+    effective_unwind,
+    infer_loop_bounds,
+    lint_loops,
+    plan_unwinds,
+)
 from repro.lang.diagnostics import ERROR, WARNING, Diagnostic, has_errors
 
 __all__ = [
@@ -66,6 +73,11 @@ __all__ = [
     "program_line_map",
     "Interval",
     "width_bounds",
+    "LoopBound",
+    "effective_unwind",
+    "infer_loop_bounds",
+    "lint_loops",
+    "plan_unwinds",
     "Diagnostic",
     "ERROR",
     "WARNING",

@@ -32,6 +32,19 @@ def main(argv: list[str] | None = None) -> int:
         "--width", type=int, default=16, help="bit width (default: 16)"
     )
     parser.add_argument(
+        "--unwind",
+        type=int,
+        default=16,
+        help="loop unrollings the encoder would perform (default: 16); the"
+        " unwind-insufficient lint checks proven trip counts against it",
+    )
+    parser.add_argument(
+        "--unwind-planning",
+        action="store_true",
+        help="assume per-loop unwind plans (proven-bounded loops unroll to"
+        " their proven bound) when deriving loop diagnostics",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit one JSON object per file instead of text diagnostics",
@@ -49,7 +62,12 @@ def main(argv: list[str] | None = None) -> int:
             any_errors = True
             continue
         result = analyze_source(
-            source, name=path.name, entry=args.entry, width=args.width
+            source,
+            name=path.name,
+            entry=args.entry,
+            width=args.width,
+            unwind=args.unwind,
+            unwind_planning=args.unwind_planning,
         )
         if result.has_errors:
             any_errors = True

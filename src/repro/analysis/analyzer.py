@@ -41,6 +41,7 @@ from repro.analysis.incremental import (
     function_reads,
 )
 from repro.analysis.intervals import Interval
+from repro.analysis.loops import LoopBound, infer_loop_bounds, lint_loops
 from repro.cfg.graph import FunctionGraph, build_function_graph, build_program_graphs
 from repro.lang import ast
 from repro.lang.diagnostics import ERROR, WARNING, Diagnostic, has_errors
@@ -75,6 +76,9 @@ class AnalysisResult:
     #: array-cell entries use the ``name[]`` key, globals the ``""`` function.
     variable_intervals: dict[tuple[str, str], Interval]
     summaries: dict[str, FunctionSummary]
+    #: Trip-count verdict per ``(function, guard line)`` — the source of
+    #: the unwind plans the BMC consumes and of the loop lints.
+    loop_bounds: dict[tuple[str, int], LoopBound] = field(default_factory=dict)
     graphs: dict[str, FunctionGraph] = field(default_factory=dict)
     states: dict[str, dict[int, IntervalState]] = field(default_factory=dict)
     #: Round-trajectory cache recorded by this run (``record_cache=True``);
@@ -117,6 +121,8 @@ def analyze_source(
     entry: str = "main",
     entry_inputs: Optional[Union[Mapping[str, int], Sequence[int]]] = None,
     width: int = DEFAULT_WIDTH,
+    unwind: int = 16,
+    unwind_planning: bool = False,
 ) -> AnalysisResult:
     """Parse, type-check and analyze; front-end failures come back as
     ERROR diagnostics instead of exceptions."""
@@ -129,7 +135,14 @@ def analyze_source(
         check_program(program)
     except (ParseError, TypeError_) as exc:
         return failed_result(name, [exc.to_diagnostic()], width)
-    return analyze_program(program, entry=entry, entry_inputs=entry_inputs, width=width)
+    return analyze_program(
+        program,
+        entry=entry,
+        entry_inputs=entry_inputs,
+        width=width,
+        unwind=unwind,
+        unwind_planning=unwind_planning,
+    )
 
 
 def analyze_program(
@@ -141,8 +154,15 @@ def analyze_program(
     base_cache: Optional[AnalysisCache] = None,
     reusable: Optional[Iterable[str]] = None,
     line_map: Optional[Mapping[int, int]] = None,
+    unwind: int = 16,
+    unwind_planning: bool = False,
 ) -> AnalysisResult:
     """Run the abstract interpretation to a whole-program fixpoint.
+
+    ``unwind``/``unwind_planning`` describe the encoding the caller will
+    run; the loop bounds themselves are unwind-independent, but the
+    ``unwind-insufficient`` lint compares proven trip counts against the
+    unrollings that encoding would actually perform.
 
     ``record_cache`` additionally captures the round trajectory (see
     :mod:`repro.analysis.incremental`) in ``result.cache``.  ``base_cache``
@@ -336,6 +356,7 @@ def analyze_program(
     write_intervals: dict[tuple[str, int], Interval] = {}
     flow_write_intervals: dict[tuple[str, int], Interval] = {}
     variable_intervals: dict[tuple[str, str], Interval] = {}
+    loop_bounds: dict[tuple[str, int], LoopBound] = {}
 
     for gname, interval in global_scalars.items():
         variable_intervals[("", gname)] = interval
@@ -385,6 +406,14 @@ def analyze_program(
                 )
                 if line_map is not None
                 else products.diagnostics,
+                loop_bounds={
+                    line_map.get(line, line): replace(
+                        bound, line=line_map.get(line, line)
+                    )
+                    for line, bound in products.loop_bounds.items()
+                }
+                if line_map is not None
+                else dict(products.loop_bounds),
             )
         else:
             domain = domains.get(name)
@@ -423,7 +452,10 @@ def analyze_program(
                 diagnostics=tuple(
                     _lint_function(name, function, graph, function_states, domain, width)
                 ),
+                loop_bounds=infer_loop_bounds(name, graph, function_states, domain),
             )
+        for line, bound in products.loop_bounds.items():
+            loop_bounds[(name, line)] = bound
         for line, interval in products.write_intervals.items():
             write_intervals[(name, line)] = interval
         for line, interval in products.flow_write_intervals.items():
@@ -435,6 +467,13 @@ def analyze_program(
             cache.products[name] = products
             cache.reads[name] = reads_of(name)
 
+    # Loop lints are derived outside the cached products: the verdicts are
+    # unwind-independent (and reusable across versions), while the lint
+    # compares them against this caller's unwind parameters.
+    diagnostics.extend(
+        lint_loops(loop_bounds.values(), unwind=unwind, unwind_planning=unwind_planning)
+    )
+
     return AnalysisResult(
         program=program,
         width=width,
@@ -443,6 +482,7 @@ def analyze_program(
         flow_write_intervals=flow_write_intervals,
         variable_intervals=variable_intervals,
         summaries=summaries,
+        loop_bounds=loop_bounds,
         graphs=graphs,
         states=states,
         cache=cache,

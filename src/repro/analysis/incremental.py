@@ -35,7 +35,7 @@ from repro.lang.diagnostics import Diagnostic
 
 #: Cache layout version — bump on any shape change so stale caches from
 #: older artifacts are ignored rather than misread.
-ANALYSIS_CACHE_VERSION = 1
+ANALYSIS_CACHE_VERSION = 2
 
 
 @dataclass
@@ -67,6 +67,10 @@ class FunctionProducts:
     flow_write_intervals: dict[int, Interval] = field(default_factory=dict)
     variable_intervals: dict[str, Interval] = field(default_factory=dict)
     diagnostics: tuple[Diagnostic, ...] = ()
+    #: Trip-count verdicts per guard line (``repro.analysis.loops``).
+    #: Unwind-independent, so they transfer across encoding options; the
+    #: unwind-dependent loop lints are re-derived from them after replay.
+    loop_bounds: dict[int, "LoopBound"] = field(default_factory=dict)  # noqa: F821
 
 
 @dataclass

@@ -1,0 +1,475 @@
+"""Loop-bound inference: per-loop trip-count verdicts over the CFG.
+
+Every ``while`` loop head in a :class:`~repro.cfg.graph.FunctionGraph` is a
+widening point of the interval analysis; this pass runs *after* the solver
+and classifies each loop from the solved states:
+
+* ``exact``   — the trip count is a single proven number;
+* ``bounded`` — the trip count provably lies in ``[lo, hi]``;
+* ``infinite`` — the guard is provably true at every evaluation and the
+  body cannot escape (no ``return``): the loop never terminates;
+* ``unknown`` — anything the monotone-guard reasoning cannot settle.
+
+The reasoning is deliberately narrow but sound: it recognizes a single
+*induction variable* — a local that the guard compares against a limit and
+that the body updates exactly once, unconditionally, by a loop-invariant
+constant step — and bounds the trip count with ceiling arithmetic over the
+variable's pre-loop interval and the limit's interval at the guard.  The
+limit may vary across iterations: its interval at the loop head covers
+every value it takes at a guard evaluation, which keeps both the upper
+bound (``limit.hi`` chases) and the lower bound (``limit.lo`` guarantees)
+conservative.  A bound that could only be reached by wrapping the induction
+variable around the width is rejected rather than reported.
+
+Three consumers sit on top:
+
+* :func:`plan_unwinds` turns proven bounds into per-loop unwind plans for
+  the BMC (unroll exactly ``hi`` times, drop the unwinding assumption);
+* :func:`lint_loops` derives the ``unwind-insufficient`` /
+  ``nonterminating-loop`` / ``constant-false-guard`` diagnostics;
+* the localizer renders ``(line, iteration)`` candidates whose unrolled
+  clause groups this analysis makes affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.analysis.domains import IntervalDomain, IntervalState
+from repro.analysis.intervals import Interval, width_bounds
+from repro.cfg.graph import FunctionGraph
+from repro.lang import ast
+from repro.lang.diagnostics import ERROR, WARNING, Diagnostic
+from repro.lang.semantics import apply_binary, apply_unary, wrap
+
+#: Loop-bound verdicts.
+EXACT = "exact"
+BOUNDED = "bounded"
+INFINITE = "infinite"
+UNKNOWN = "unknown"
+
+#: A proven bound above this never becomes an unwind plan: unrolling tens of
+#: thousands of iterations would swamp the solver long before the unwinding
+#: assumption becomes the bottleneck.  Such loops keep the global unwind.
+PLANNED_UNWIND_CAP = 256
+
+#: ``limit OP var`` mirrored into ``var OP' limit``.
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """The verdict for one ``while`` loop, anchored to its guard line."""
+
+    line: int
+    function: str
+    verdict: str
+    #: Proven minimum trip count (0 when nothing is proven).
+    lo: int = 0
+    #: Proven maximum trip count; ``None`` when no finite bound is proven.
+    hi: Optional[int] = None
+    induction_var: str = ""
+    #: The guard is provably false on loop entry: the body never executes.
+    guard_always_false: bool = False
+
+
+# ------------------------------------------------------------------ inference
+
+
+def infer_loop_bounds(
+    function_name: str,
+    graph: FunctionGraph,
+    states: dict[int, IntervalState],
+    domain: IntervalDomain,
+) -> dict[int, LoopBound]:
+    """Classify every reachable loop of one solved function.
+
+    Keyed by guard line.  Unreachable loops are skipped — the dead-code
+    lint already covers them, and they contribute no clauses either way.
+    """
+    bounds: dict[int, LoopBound] = {}
+    for node in graph.nodes:
+        stmt = node.stmt
+        if not node.is_loop_head or not isinstance(stmt, ast.While):
+            continue
+        head = states.get(node.index)
+        if head is None:
+            continue
+        entry = _entry_state(graph, states, domain, node.index)
+        if entry is None:
+            entry = head
+        bounds[stmt.line] = _analyze_loop(function_name, stmt, head, entry, domain)
+    return bounds
+
+
+def _entry_state(
+    graph: FunctionGraph,
+    states: dict[int, IntervalState],
+    domain: IntervalDomain,
+    loop_index: int,
+) -> Optional[IntervalState]:
+    """The state on loop entry: the join over non-back-edge predecessors.
+
+    Nodes are numbered in program order, so back edges are exactly the
+    predecessors with a higher index than the loop head.
+    """
+    entry: Optional[IntervalState] = None
+    for edge in graph.predecessors(loop_index):
+        if edge.source > loop_index:
+            continue
+        source_state = states.get(edge.source)
+        if source_state is None:
+            continue
+        out = domain.transfer(graph.nodes[edge.source], source_state)
+        if out is None:
+            continue
+        refined = domain.refine_edge(edge, out)
+        if refined is None:
+            continue
+        entry = refined if entry is None else domain.join(entry, refined)
+    return entry
+
+
+def _analyze_loop(
+    function_name: str,
+    stmt: ast.While,
+    head: IntervalState,
+    entry: IntervalState,
+    domain: IntervalDomain,
+) -> LoopBound:
+    line = stmt.line
+
+    def verdict(kind: str, lo: int = 0, hi: Optional[int] = None, var: str = "", always_false: bool = False) -> LoopBound:
+        return LoopBound(
+            line=line,
+            function=function_name,
+            verdict=kind,
+            lo=lo,
+            hi=hi,
+            induction_var=var,
+            guard_always_false=always_false,
+        )
+
+    if domain.eval(stmt.cond, entry).truth() is False:
+        return verdict(EXACT, 0, 0, always_false=True)
+
+    body = tuple(_walk(stmt.body))
+    has_return = any(isinstance(s, ast.Return) for s in body)
+    has_assume = any(isinstance(s, ast.Assume) for s in body)
+
+    # The head state covers every guard evaluation, so a guard provably
+    # true there is true on every iteration — without a ``return`` the
+    # body cannot escape.  (Wrap-around escape hatches are safe: the
+    # interval transfer goes TOP when the update can wrap, and TOP is
+    # never provably true.)
+    if domain.eval(stmt.cond, head).truth() is True and not has_return:
+        return verdict(INFINITE)
+
+    parsed = _parse_guard(stmt.cond)
+    if parsed is None:
+        return verdict(UNKNOWN)
+    for var, op, limit_expr in parsed:
+        if var not in domain.locals:
+            continue
+        step = _induction_step(stmt, var, head, domain)
+        if step is None or step == 0:
+            continue
+        limit = domain.eval(limit_expr, head)
+        entry_iv = entry.scalars.get(var, Interval.top(domain.width))
+        if limit.empty or entry_iv.empty:
+            continue
+        trips = _trip_range(op, step, entry_iv, limit, domain.width)
+        if trips is None:
+            continue
+        lo, hi = trips
+        if has_return or has_assume:
+            # Either can cut an iteration short, so only the upper bound
+            # survives.
+            lo = 0
+        return verdict(EXACT if lo == hi else BOUNDED, lo, hi, var=var)
+    return verdict(UNKNOWN)
+
+
+def _parse_guard(cond: ast.Expr) -> Optional[list[tuple[str, str, ast.Expr]]]:
+    """Candidate ``(var, op, limit)`` readings of a comparison guard."""
+    if not isinstance(cond, ast.BinaryOp) or cond.op not in _MIRROR:
+        return None
+    candidates: list[tuple[str, str, ast.Expr]] = []
+    if isinstance(cond.left, ast.VarRef):
+        candidates.append((cond.left.name, cond.op, cond.right))
+    if isinstance(cond.right, ast.VarRef):
+        candidates.append((cond.right.name, _MIRROR[cond.op], cond.left))
+    return candidates or None
+
+
+def _induction_step(
+    stmt: ast.While, var: str, head: IntervalState, domain: IntervalDomain
+) -> Optional[int]:
+    """The constant per-iteration step of ``var``, or ``None``.
+
+    Requires exactly one write to ``var`` in the whole body, placed
+    directly in the body block (so it runs unconditionally once per
+    iteration), of the shape ``var = var ± step`` with a loop-invariant
+    constant step.
+    """
+    writes = [
+        s
+        for s in _walk(stmt.body)
+        if isinstance(s, (ast.Assign, ast.VarDecl)) and s.name == var
+    ]
+    if len(writes) != 1 or not isinstance(writes[0], ast.Assign):
+        return None
+    write = writes[0]
+    if not any(s is write for s in stmt.body):
+        return None
+    value = write.value
+    if not isinstance(value, ast.BinaryOp):
+        return None
+    if value.op == "+":
+        if isinstance(value.left, ast.VarRef) and value.left.name == var:
+            step_expr, sign = value.right, 1
+        elif isinstance(value.right, ast.VarRef) and value.right.name == var:
+            step_expr, sign = value.left, 1
+        else:
+            return None
+    elif value.op == "-":
+        if isinstance(value.left, ast.VarRef) and value.left.name == var:
+            step_expr, sign = value.right, -1
+        else:
+            return None
+    else:
+        return None
+    step = _invariant_const(step_expr, stmt, head, domain)
+    if step is None:
+        return None
+    return sign * step
+
+
+def _invariant_const(
+    expr: ast.Expr, loop: ast.While, head: IntervalState, domain: IntervalDomain
+) -> Optional[int]:
+    """Value of a provably loop-invariant constant expression.
+
+    A literal expression folds directly.  A local variable the body never
+    writes falls back to its head-state interval — constant there means
+    constant on every iteration, because the head state joins every
+    arrival.  Anything else (globals a call might touch, array cells,
+    expressions over mutated locals) is rejected: the head interval only
+    bounds values *at the guard*, not at the update site mid-body.
+    """
+    folded = _fold_literal(expr, domain.width)
+    if folded is not None:
+        return folded
+    if isinstance(expr, ast.VarRef) and expr.name in domain.locals:
+        written = any(
+            isinstance(s, (ast.Assign, ast.VarDecl)) and s.name == expr.name
+            for s in _walk(loop.body)
+        )
+        if not written:
+            return head.scalars.get(expr.name, Interval.top(domain.width)).const_value()
+    return None
+
+
+def _fold_literal(expr: ast.Expr, width: int) -> Optional[int]:
+    if isinstance(expr, ast.IntLiteral):
+        return wrap(expr.value, width)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _fold_literal(expr.operand, width)
+        return None if operand is None else apply_unary(expr.op, operand, width)
+    if isinstance(expr, ast.BinaryOp):
+        left = _fold_literal(expr.left, width)
+        right = _fold_literal(expr.right, width)
+        if left is None or right is None:
+            return None
+        return apply_binary(expr.op, left, right, width)
+    return None
+
+
+def _trip_range(
+    op: str, step: int, entry: Interval, limit: Interval, width: int
+) -> Optional[tuple[int, int]]:
+    """``[lo, hi]`` trip counts for a monotone guard, or ``None``.
+
+    All arithmetic is unbounded; a bound whose final induction value could
+    leave the representable range (wrap) is rejected, because the interval
+    reasoning above assumed no wrap.
+    """
+    wlo, whi = width_bounds(width)
+
+    def ceil_div(a: int, b: int) -> int:
+        return -((-a) // b)
+
+    if op in ("<", "<="):
+        if step <= 0:
+            return None
+        if op == "<":
+            hi = ceil_div(limit.hi - entry.lo, step)
+            lo = ceil_div(limit.lo - entry.hi, step)
+            peak = limit.hi - 1 + step
+        else:
+            hi = (limit.hi - entry.lo) // step + 1
+            lo = (limit.lo - entry.hi) // step + 1
+            peak = limit.hi + step
+        hi, lo = max(0, hi), max(0, lo)
+        if hi > 0 and peak > whi:
+            return None
+        return lo, hi
+    if op in (">", ">="):
+        if step >= 0:
+            return None
+        down = -step
+        if op == ">":
+            hi = ceil_div(entry.hi - limit.lo, down)
+            lo = ceil_div(entry.lo - limit.hi, down)
+            trough = limit.lo + 1 - down
+        else:
+            hi = (entry.hi - limit.lo) // down + 1
+            lo = (entry.lo - limit.hi) // down + 1
+            trough = limit.lo - down
+        hi, lo = max(0, hi), max(0, lo)
+        if hi > 0 and trough < wlo:
+            return None
+        return lo, hi
+    if op == "!=":
+        # Sound only when every start value lands exactly on the limit.
+        if not limit.is_const:
+            return None
+        target = limit.lo
+        if step > 0:
+            if entry.hi > target:
+                return None
+            if (target - entry.lo) % step or (target - entry.hi) % step:
+                return None
+            return (target - entry.hi) // step, (target - entry.lo) // step
+        down = -step
+        if entry.lo < target:
+            return None
+        if (entry.lo - target) % down or (entry.hi - target) % down:
+            return None
+        return (entry.lo - target) // down, (entry.hi - target) // down
+    return None
+
+
+def _walk(statements: tuple[ast.Stmt, ...]) -> Iterable[ast.Stmt]:
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _walk(stmt.then_body)
+            yield from _walk(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            yield from _walk(stmt.body)
+
+
+# ------------------------------------------------------------------ consumers
+
+
+def planned_bound(bound: LoopBound, unwind: int) -> Optional[tuple[int, bool]]:
+    """The unwind plan one loop verdict supports, or ``None``.
+
+    ``(iterations, proven)`` — ``proven`` means the unrolling covers every
+    execution and the CBMC-style unwinding assumption can be dropped.  At
+    least one unrolling is always kept so the guard and body contribute
+    the same clause-group universe planned or flat (the differential
+    discipline compares candidate line sets across the two encodings).
+    """
+    if bound.verdict not in (EXACT, BOUNDED) or bound.hi is None:
+        return None
+    if bound.hi > max(unwind, PLANNED_UNWIND_CAP):
+        return None
+    return max(1, bound.hi), True
+
+
+def plan_unwinds(
+    loop_bounds: Mapping[tuple[str, int], LoopBound], unwind: int
+) -> dict[tuple[str, int], tuple[int, bool]]:
+    """Per-loop unwind plans keyed by ``(function, guard line)``."""
+    plans: dict[tuple[str, int], tuple[int, bool]] = {}
+    for key, bound in loop_bounds.items():
+        plan = planned_bound(bound, unwind)
+        if plan is not None:
+            plans[key] = plan
+    return plans
+
+
+def effective_unwind(bound: LoopBound, unwind: int, unwind_planning: bool) -> int:
+    """Unrollings the encoder will actually perform for this loop."""
+    if unwind_planning:
+        plan = planned_bound(bound, unwind)
+        if plan is not None:
+            return plan[0]
+    return unwind
+
+
+def lint_loops(
+    loop_bounds: Iterable[LoopBound], unwind: int = 16, unwind_planning: bool = False
+) -> list[Diagnostic]:
+    """Diagnostics derived from the verdicts under given encoding options.
+
+    ``unwind-insufficient`` is an ERROR: when the proven minimum trip
+    count exceeds what the encoder unrolls, the unwinding assumption
+    contradicts a proven fact and the trace formula is over-constrained —
+    localization over it would be garbage, so the program is rejected
+    rather than silently mis-localized.
+    """
+    diagnostics: list[Diagnostic] = []
+    for bound in loop_bounds:
+        if bound.guard_always_false:
+            diagnostics.append(
+                Diagnostic(
+                    line=bound.line,
+                    severity=WARNING,
+                    code="constant-false-guard",
+                    message="loop guard is always false; the body never executes",
+                    function=bound.function,
+                )
+            )
+            continue
+        if bound.verdict == INFINITE:
+            diagnostics.append(
+                Diagnostic(
+                    line=bound.line,
+                    severity=WARNING,
+                    code="nonterminating-loop",
+                    message="loop guard is always true and the body cannot exit",
+                    function=bound.function,
+                )
+            )
+            continue
+        if bound.verdict in (EXACT, BOUNDED) and bound.lo > 0:
+            effective = effective_unwind(bound, unwind, unwind_planning)
+            if bound.lo > effective:
+                need = (
+                    f"exactly {bound.lo}"
+                    if bound.verdict == EXACT and bound.lo == bound.hi
+                    else f"at least {bound.lo}"
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        line=bound.line,
+                        severity=ERROR,
+                        code="unwind-insufficient",
+                        message=(
+                            f"loop runs {need} iterations but only {effective}"
+                            " are unrolled; raise unwind or enable"
+                            " unwind_planning"
+                        ),
+                        function=bound.function,
+                    )
+                )
+    return diagnostics
+
+
+__all__ = [
+    "BOUNDED",
+    "EXACT",
+    "INFINITE",
+    "PLANNED_UNWIND_CAP",
+    "UNKNOWN",
+    "LoopBound",
+    "effective_unwind",
+    "infer_loop_bounds",
+    "lint_loops",
+    "plan_unwinds",
+    "planned_bound",
+]

@@ -79,6 +79,8 @@ class BoundedModelChecker:
         hard_functions: Iterable[str] = (),
         simplify: bool = True,
         analysis_narrowing: bool = True,
+        unwind_planning: bool = False,
+        loop_iteration_groups: bool = False,
     ) -> None:
         """Configure the checker.
 
@@ -91,6 +93,12 @@ class BoundedModelChecker:
         bit-width of written values whose range is statically bounded; the
         flow-insensitive table is used, which stays sound under the guarded
         encoding (off-path rhs values are covered by the variable domains).
+        ``unwind_planning`` consumes the loop-bound pass: loops with a
+        proven trip-count bound unroll exactly that many times (dropping
+        the unwinding assumption) instead of the flat global ``unwind``.
+        ``loop_iteration_groups`` gives every unrolled loop iteration its
+        own clause group per statement, so candidates carry a
+        ``(line, iteration)`` pair (the Section 5.2 loop extension).
         """
         self.program = program
         self.width = width
@@ -100,6 +108,14 @@ class BoundedModelChecker:
         self.hard_functions = set(hard_functions)
         self.simplify = simplify
         self.analysis_narrowing = analysis_narrowing
+        self.unwind_planning = unwind_planning
+        self.loop_iteration_groups = loop_iteration_groups
+        #: Per-loop unwind plans ``(function, guard line) -> (bound, proven)``;
+        #: seeded by :meth:`_encode` (or directly by the splice path).
+        self._unwind_plans: dict[tuple[str, int], tuple[int, bool]] = {}
+        #: 1-based unrolling indices of the loops currently being encoded
+        #: within the innermost function frame.
+        self._loop_stack: list[int] = []
 
     # ------------------------------------------------------------------ API
 
@@ -118,6 +134,8 @@ class BoundedModelChecker:
             "hard_functions": tuple(sorted(self.hard_functions)),
             "simplify": self.simplify,
             "analysis_narrowing": self.analysis_narrowing,
+            "unwind_planning": self.unwind_planning,
+            "loop_iteration_groups": self.loop_iteration_groups,
         }
 
     def find_counterexample(self, entry: str = "main") -> Optional[Counterexample]:
@@ -204,6 +222,8 @@ class BoundedModelChecker:
             group_table=list(context.group_table),
             compile_options=self.compile_options(entry),
             narrowing_plans=self._narrowing_plan_table(),
+            unwind_plans=dict(self._unwind_plans),
+            truncated_loops=self._truncated_loops_for(analysis),
             analysis_cache=analysis.cache if analysis is not None else None,
         )
         from repro.bmc.compiled import _set_encode_profile
@@ -350,6 +370,8 @@ class BoundedModelChecker:
                     base_cache=base_cache,
                     reusable=reusable,
                     line_map=line_map,
+                    unwind=self.unwind,
+                    unwind_planning=self.unwind_planning,
                 )
             except Exception:  # pragma: no cover - defensive
                 cache[entry] = None
@@ -386,6 +408,40 @@ class BoundedModelChecker:
                 plans[key] = plan
         return plans
 
+    def _unwind_plan_table_for(self, analysis) -> dict[tuple[str, int], tuple[int, bool]]:
+        """Per-loop unwind plans derived from one analysis result.
+
+        Execution-independent (a pure function of the loop-bound verdicts
+        and the global unwind), so two versions' tables can be compared per
+        function without replaying anything — the splice precondition for
+        reusing encoded loops.
+        """
+        if not self.unwind_planning or analysis is None or analysis.has_errors:
+            return {}
+        from repro.analysis.loops import plan_unwinds
+
+        return plan_unwinds(analysis.loop_bounds, self.unwind)
+
+    def _truncated_loops_for(self, analysis) -> tuple[tuple[str, int], ...]:
+        """Loops whose proven minimum trip count the encoding truncates.
+
+        Computed even when the analysis carries errors — the flag matters
+        most exactly when ``unwind-insufficient`` fired.
+        """
+        if analysis is None:
+            return ()
+        from repro.analysis.loops import BOUNDED, EXACT, effective_unwind
+
+        return tuple(
+            sorted(
+                key
+                for key, bound in analysis.loop_bounds.items()
+                if bound.verdict in (EXACT, BOUNDED)
+                and bound.lo
+                > effective_unwind(bound, self.unwind, self.unwind_planning)
+            )
+        )
+
     def _fresh_written(self, line: int) -> Bits:
         """A fresh vector for a written value — narrowed to the statically
         proven (flow-insensitive) range when the analysis found one."""
@@ -418,12 +474,16 @@ class BoundedModelChecker:
         self._steps: list[TraceStep] = []
         self._narrowed_vars = 0
         self._write_intervals: dict[tuple[str, int], object] = {}
+        self._unwind_plans = {}
+        self._loop_stack = []
         phases = self._context.encode_phases
         with obs.span("encode.analysis") as timed:
-            if self.analysis_narrowing:
+            if self.analysis_narrowing or self.unwind_planning:
                 analysis = self._analysis_for(entry)
                 if analysis is not None and not analysis.has_errors:
-                    self._write_intervals = analysis.flow_write_intervals
+                    if self.analysis_narrowing:
+                        self._write_intervals = analysis.flow_write_intervals
+                self._unwind_plans = self._unwind_plan_table_for(analysis)
         phases["analysis"] = timed.duration
 
         with obs.span("encode.gates") as timed:
@@ -474,11 +534,18 @@ class BoundedModelChecker:
         frame.return_value = builder.const(0) if function.returns_value else None
         self._frames.append(frame)
         previous_guard = self._current_guard
+        # Loop iterations are per function frame: a callee's statements are
+        # not "inside" the caller's loop, so a line's iteration-awareness is
+        # a static property of its own function (mixing iteration-tagged and
+        # untagged groups for one line would break group ordering).
+        previous_stack = self._loop_stack
+        self._loop_stack = []
         try:
             self._exec_block(function.body, guard)
         finally:
             self._frames.pop()
             self._current_guard = previous_guard
+            self._loop_stack = previous_stack
 
     def _exec_block(self, statements: tuple[ast.Stmt, ...], guard: int) -> None:
         for stmt in statements:
@@ -487,19 +554,29 @@ class BoundedModelChecker:
     def _effective(self, guard: int) -> int:
         return self._builder.bit_and(guard, self._frames[-1].active)
 
+    def _current_iteration(self) -> Optional[int]:
+        if self.loop_iteration_groups and self._loop_stack:
+            return self._loop_stack[-1]
+        return None
+
     def _group_for(self, stmt: ast.Stmt) -> Optional[StatementGroup]:
         if not self.group_statements:
             return None
         function = self._frames[-1].function
         if function in self.hard_functions:
             return None
-        return StatementGroup(line=stmt.line, function=function)
+        return StatementGroup(
+            line=stmt.line, function=function, iteration=self._current_iteration()
+        )
 
     def _record(self, stmt: ast.Stmt, kind: str) -> None:
         function = self._frames[-1].function
-        self._steps.append(TraceStep(line=stmt.line, function=function, kind=kind))
+        iteration = self._current_iteration()
+        self._steps.append(
+            TraceStep(line=stmt.line, function=function, kind=kind, iteration=iteration)
+        )
         if self._context.journaling:
-            self._context.record(("s", stmt.line, function, kind))
+            self._context.record(("s", stmt.line, function, kind, iteration))
 
     def _exec(self, stmt: ast.Stmt, guard: int) -> None:
         builder = self._builder
@@ -610,23 +687,62 @@ class BoundedModelChecker:
                 self._context.emit([condition, -raw])
         return condition
 
+    def _guard_copy(self, raw: int, group: Optional[StatementGroup]) -> int:
+        """A relaxable copy of an already-encoded (hard) condition literal.
+
+        Only the two binding clauses live in the statement group: relaxing
+        the group frees the copy from the circuit, which is exactly the
+        "this guard took the wrong branch" repair.  The circuit gates
+        themselves stay hard — so reusing the raw literal elsewhere (the
+        unwinding assumption) can never be undone by relaxing the guard.
+        """
+        builder = self._builder
+        if builder._const_value(raw) is not None or group is None:
+            return raw
+        with self._context.group(group):
+            condition = self._context.new_var()
+            self._context.emit([-condition, raw])
+            self._context.emit([condition, -raw])
+        return condition
+
     def _exec_while(
         self, stmt: ast.While, guard: int, group: Optional[StatementGroup]
     ) -> None:
         builder = self._builder
+        function = self._frames[-1].function
+        plan = self._unwind_plans.get((function, stmt.line))
+        bound, proven = plan if plan is not None else (self.unwind, False)
         path = guard
-        for _ in range(self.unwind):
-            condition = self._encode_condition(stmt.cond, group)
-            self._record(stmt, "loop-guard")
-            path = builder.bit_and(path, condition)
-            if builder._const_value(path) is False:
+        #: The guard conjunction over *raw* (hard) condition literals; the
+        #: unwinding assumption must be built from these, not from the
+        #: relaxable copies, so the localizer can never "explain" a failure
+        #: by flipping the truncation assumption itself.
+        hard_path = guard
+        self._loop_stack.append(1)
+        try:
+            for _ in range(bound):
+                with self._context.group(None):
+                    raw = self._encoder.encode_bool(stmt.cond)
+                condition = self._guard_copy(raw, self._group_for(stmt))
+                self._record(stmt, "loop-guard")
+                path = builder.bit_and(path, condition)
+                hard_path = builder.bit_and(hard_path, raw)
+                if builder._const_value(path) is False:
+                    return
+                self._exec_block(stmt.body, path)
+                self._loop_stack[-1] += 1
+            if proven:
+                # The analysis proved the loop exits within `bound` trips;
+                # no unwinding assumption is needed (or sound to relax).
                 return
-            self._exec_block(stmt.body, path)
-        # Unwinding assumption: after `unwind` iterations the loop must exit.
-        with self._context.group(None):
-            condition = self._encoder.encode_bool(stmt.cond)
-        still_running = builder.bit_and(self._effective(path), condition)
-        self._context.emit_hard([-still_running])
+            # Unwinding assumption: after `bound` iterations the loop must
+            # exit.  Hard by construction — see `hard_path`.
+            with self._context.group(None):
+                condition = self._encoder.encode_bool(stmt.cond)
+            still_running = builder.bit_and(self._effective(hard_path), condition)
+            self._context.emit_hard([-still_running])
+        finally:
+            self._loop_stack.pop()
 
     # ------------------------------------------------------------- mutation
 

@@ -39,7 +39,7 @@ Bits = tuple[int, ...]
 #: :class:`~repro.encoding.context.StatementGroup`) change incompatibly, so a
 #: content-addressed store never deserializes a stale on-disk spill into a
 #: newer process — it recompiles instead.
-ARTIFACT_FORMAT_VERSION = 3
+ARTIFACT_FORMAT_VERSION = 4
 
 #: Magic prefix of a serialized artifact (sanity check before unpickling).
 _ARTIFACT_MAGIC = b"repro-artifact\x00"
@@ -207,6 +207,14 @@ class CompiledProgram:
     #: applied during the compile; a replay must prove these identical for
     #: every unchanged function before reusing the encoding.
     narrowing_plans: dict = field(default_factory=dict)
+    #: ``(function, guard line) -> (iterations, proven)`` per-loop unwind
+    #: plans applied during the compile (``repro.analysis.loops``); subject
+    #: to the same splice precondition as ``narrowing_plans``.
+    unwind_plans: dict = field(default_factory=dict)
+    #: Loops whose proven minimum trip count exceeds what this encoding
+    #: unrolled: executions through them are truncated, and localization
+    #: reports derived from this artifact carry ``unwind_truncated=True``.
+    truncated_loops: tuple = ()
     #: Key of the base artifact this one was warm-compiled from (``None``
     #: for cold compiles) plus the fraction of statements re-encoded.
     spliced_from: Optional[str] = None
@@ -229,6 +237,16 @@ class CompiledProgram:
     def num_clauses(self) -> int:
         """Clause count of the invariant encoding (hard plus grouped)."""
         return len(self.hard) + sum(len(clauses) for clauses in self.groups.values())
+
+    @property
+    def planned_loops(self) -> int:
+        """Loops encoded under a proven per-loop unwind plan."""
+        return sum(1 for _, proven in self.unwind_plans.values() if proven)
+
+    @property
+    def unwind_truncated(self) -> bool:
+        """True when some loop's proven trip count was truncated."""
+        return bool(self.truncated_loops)
 
     @property
     def num_assignments(self) -> int:

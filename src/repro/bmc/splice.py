@@ -234,7 +234,7 @@ def _splice(
     # comparing the full (execution-independent) plan tables catches that.
     new_table: dict = {}
     analysis = None
-    if checker.analysis_narrowing:
+    if checker.analysis_narrowing or checker.unwind_planning:
         # Seed the incremental re-analysis: hash-identical functions replay
         # their recorded fixpoint rounds from the base artifact instead of
         # re-solving (repro.analysis.incremental); the result is
@@ -248,7 +248,11 @@ def _splice(
             analysis = checker._analysis_for(entry)
         finally:
             checker._analysis_seed = None
-    if analysis is not None and not analysis.has_errors:
+    if (
+        checker.analysis_narrowing
+        and analysis is not None
+        and not analysis.has_errors
+    ):
         new_table = analysis.flow_write_intervals
     checker._write_intervals = new_table
     new_plans = checker._narrowing_plan_table()
@@ -265,6 +269,26 @@ def _splice(
     new_side = {k: p for k, p in new_plans.items() if k[0] not in skip_new}
     if base_side != new_side:
         raise SpliceDecline
+
+    # Unwind-plan precondition, same shape: a replayed loop keeps the base
+    # encoding's unroll count and (when proven) its dropped unwinding
+    # assumption, which is only sound if the new version's loop-bound
+    # analysis derives the identical per-loop plan.
+    new_unwind_plans = checker._unwind_plan_table_for(analysis)
+    base_unwind_side: dict = {}
+    for (fn, line), plan in base.unwind_plans.items():
+        if fn in skip_base:
+            continue
+        mapped_line = line_map.get(line)
+        if mapped_line is None:
+            raise SpliceDecline
+        base_unwind_side[(fn, mapped_line)] = plan
+    new_unwind_side = {
+        k: p for k, p in new_unwind_plans.items() if k[0] not in skip_new
+    }
+    if base_unwind_side != new_unwind_side:
+        raise SpliceDecline
+    checker._unwind_plans = new_unwind_plans
 
     unchanged = set(program.functions) - region - set(changes.added)
     replay = _Replay(base, checker, region, line_map, unchanged, init_subst)
@@ -342,6 +366,8 @@ def _splice(
         group_table=list(context.group_table),
         compile_options=options,
         narrowing_plans=new_plans,
+        unwind_plans=new_unwind_plans,
+        truncated_loops=checker._truncated_loops_for(analysis),
         spliced_from=base_key,
         impact_fraction=impact.impact_fraction,
         analysis_cache=analysis.cache if analysis is not None else None,
@@ -836,12 +862,17 @@ class _Replay:
                         context.groups.setdefault(mapped_group, [])
                         context.record(("grp", context.group_id(mapped_group)))
                 elif tag == "s":
-                    _, line, fn, kind = event
+                    _, line, fn, kind, iteration = event
                     mapped_line = self.line_map.get(line, line)
                     self.steps.append(
-                        TraceStep(line=mapped_line, function=fn, kind=kind)
+                        TraceStep(
+                            line=mapped_line,
+                            function=fn,
+                            kind=kind,
+                            iteration=iteration,
+                        )
                     )
-                    context.record(("s", mapped_line, fn, kind))
+                    context.record(("s", mapped_line, fn, kind, iteration))
                 elif tag == "ce":
                     fn = event[1]
                     if fn in self.region:
@@ -1558,7 +1589,12 @@ class _Replay:
                 line = event[1]
                 mapped_line = line_map.get(line, line)
                 self.steps.append(
-                    TraceStep(line=mapped_line, function=event[2], kind=event[3])
+                    TraceStep(
+                        line=mapped_line,
+                        function=event[2],
+                        kind=event[3],
+                        iteration=event[4],
+                    )
                 )
                 if pending:
                     journal_append(("v", pending))
@@ -1566,7 +1602,7 @@ class _Replay:
                 journal_append(
                     event
                     if mapped_line == line
-                    else ("s", mapped_line, event[2], event[3])
+                    else ("s", mapped_line) + event[2:]
                 )
             elif tag == "grp":
                 gid = event[1]
@@ -1930,12 +1966,17 @@ class _Replay:
                             context.groups.setdefault(mapped_group, [])
                             context.record(("grp", context.group_id(mapped_group)))
                     elif tag == "s":
-                        _, line, fn, kind = event
+                        _, line, fn, kind, iteration = event
                         mapped_line = line_map.get(line, line)
                         self.steps.append(
-                            TraceStep(line=mapped_line, function=fn, kind=kind)
+                            TraceStep(
+                                line=mapped_line,
+                                function=fn,
+                                kind=kind,
+                                iteration=iteration,
+                            )
                         )
-                        context.record(("s", mapped_line, fn, kind))
+                        context.record(("s", mapped_line, fn, kind, iteration))
                     elif tag == "nw":
                         checker._narrowed_vars += event[1]
                         context.record(event)

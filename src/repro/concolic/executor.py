@@ -278,12 +278,18 @@ class ConcolicTracer:
         self, function: ast.Function, frame: _Frame
     ) -> tuple[Optional[int], Optional[Bits]]:
         self._frames.append(frame)
+        # A fresh frame starts outside any loop: a callee's statements must
+        # not inherit the caller's iteration counter, or the same line would
+        # land in different groups depending on the call site.
+        previous_iterations = self._loop_iterations
+        self._loop_iterations = []
         try:
             self._exec_block(function.body)
         except _Return as ret:
             return ret.concrete, ret.symbolic
         finally:
             self._frames.pop()
+            self._loop_iterations = previous_iterations
         if function.returns_value:
             return 0, self._builder.const(0)
         return None, None

@@ -49,6 +49,11 @@ class LocalizationReport:
     #: ``conflicts_per_second`` — search-kernel throughput — from this.
     conflicts: int = 0
     time_seconds: float = 0.0
+    #: True when the encoding truncated a loop whose proven minimum trip
+    #: count exceeds the unroll depth: the localized execution is a prefix,
+    #: so candidates may be incomplete.  Raise ``unwind`` or enable
+    #: ``unwind_planning`` to clear it.
+    unwind_truncated: bool = False
 
     @property
     def lines(self) -> list[int]:

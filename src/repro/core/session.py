@@ -125,6 +125,8 @@ class LocalizationSession:
         warm_start: bool = True,
         analysis_narrowing: bool = True,
         static_pruning: bool = True,
+        unwind_planning: bool = False,
+        loop_iteration_groups: bool = False,
         base_artifact: Optional[CompiledProgram] = None,
     ) -> None:
         self.program = program
@@ -138,6 +140,8 @@ class LocalizationSession:
         self.warm_start = warm_start
         self.analysis_narrowing = analysis_narrowing
         self.static_pruning = static_pruning
+        self.unwind_planning = unwind_planning
+        self.loop_iteration_groups = loop_iteration_groups
         #: Optional prior-version artifact to splice the encoding from
         #: instead of compiling cold; a declined splice falls back silently.
         self.base_artifact = base_artifact
@@ -217,6 +221,11 @@ class LocalizationSession:
         session.warm_start = warm_start
         session.analysis_narrowing = True
         session.static_pruning = static_pruning
+        options = compiled.compile_options or {}
+        session.unwind_planning = bool(options.get("unwind_planning", False))
+        session.loop_iteration_groups = bool(
+            options.get("loop_iteration_groups", False)
+        )
         session.base_artifact = None
         session.stats = SessionStats()
         session.last_request_profile = {}
@@ -244,6 +253,8 @@ class LocalizationSession:
                 group_statements=True,
                 hard_functions=self.hard_functions,
                 analysis_narrowing=self.analysis_narrowing,
+                unwind_planning=self.unwind_planning,
+                loop_iteration_groups=self.loop_iteration_groups,
             )
             if self.base_artifact is not None:
                 from repro.bmc.splice import splice_compile
@@ -319,6 +330,7 @@ class LocalizationSession:
                 trace_assignments=compiled.num_assignments,
                 trace_variables=compiled.num_vars,
                 trace_clauses=compiled.num_clauses + len(clauses),
+                unwind_truncated=compiled.unwind_truncated,
             )
             sat_calls_before = engine.sat_calls
             engine.push_layer()

@@ -189,6 +189,7 @@ def report_to_wire(report: LocalizationReport) -> dict:
         "trace_variables": report.trace_variables,
         "trace_clauses": report.trace_clauses,
         "maxsat_calls": report.maxsat_calls,
+        "unwind_truncated": report.unwind_truncated,
         "sat_calls": report.sat_calls,
         "propagations": report.propagations,
         "conflicts": report.conflicts,

@@ -57,6 +57,8 @@ COMPILE_OPTION_DEFAULTS: dict[str, object] = {
     "hard_functions": (),
     "simplify": True,
     "analysis_narrowing": True,
+    "unwind_planning": False,
+    "loop_iteration_groups": False,
 }
 
 
@@ -349,6 +351,8 @@ class ArtifactStore:
             "hard_functions": tuple(normalized["hard_functions"]),
             "simplify": normalized["simplify"],
             "analysis_narrowing": normalized["analysis_narrowing"],
+            "unwind_planning": normalized["unwind_planning"],
+            "loop_iteration_groups": normalized["loop_iteration_groups"],
         }
         if normalized["width"] is not None:
             checker_kwargs["width"] = normalized["width"]

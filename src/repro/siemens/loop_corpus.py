@@ -1,0 +1,177 @@
+"""Seeded-fault while-loop corpus for the loop-bound analysis.
+
+Small mini-C programs, each dominated by loops whose trip counts the
+loop-bound pass (:mod:`repro.analysis.loops`) can prove — constant bounds,
+assume-bounded parameter limits, decreasing counters, nesting — and each
+carrying one seeded fault that makes its assertion fail on the recorded
+test.  The corpus backs ``benchmarks/bench_loops.py`` (clause counts and
+times flat vs planned unwinding across unwind depths, with the per-row
+``lines_equal`` record of where dropping the unwinding assumption changes
+the candidate set) and the planning/iteration-group tests in
+``tests/test_loops.py``.
+
+All loops here bound well below the default ``unwind=16``, so planning
+prunes real clauses; the faults sit on body statements and loop guards so
+iteration-aware grouping (``loop_iteration_groups``) has something to
+localize per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.lang import ast, check_program, parse_program
+from repro.spec import Specification
+
+
+@dataclass(frozen=True)
+class LoopBenchmark:
+    """One corpus entry: a loop-heavy program with a seeded fault."""
+
+    name: str
+    source: str
+    #: Inputs on which the seeded fault trips the program's assertion.
+    failing_test: tuple[int, ...]
+    #: Line(s) of the seeded fault, for detection checks.
+    fault_lines: tuple[int, ...]
+    description: str = ""
+
+    def program(self) -> ast.Program:
+        return _parse(self.name, self.source)
+
+    def specification(self) -> Specification:
+        return Specification.assertion()
+
+
+@lru_cache(maxsize=None)
+def _parse(name: str, source: str) -> ast.Program:
+    program = parse_program(source, name=name)
+    check_program(program)
+    return program
+
+
+# Constant-bound accumulator; the fault drops a doubling, so the loop sums
+# to 28 instead of the asserted 56.  Exact trip count 8 under unwind 16.
+SCALE_SUM = LoopBenchmark(
+    name="scale_sum",
+    source=(
+        "int main(int x) {\n"
+        "    int i = 0;\n"
+        "    int s = 0;\n"
+        "    assume(x == 1);\n"
+        "    while (i < 8) {\n"
+        "        s = s + i * x;\n"  # fault: should be s + 2 * i * x
+        "        i = i + 1;\n"
+        "    }\n"
+        "    assert(s == 56);\n"
+        "    return s;\n"
+        "}\n"
+    ),
+    failing_test=(1,),
+    fault_lines=(6,),
+    description="constant-bound sum, fault in the body accumulation",
+)
+
+# Decreasing counter with a loop-invariant limit; the seeded step of 3
+# (correct: 2) finishes in 4 iterations instead of 5.
+COUNTDOWN = LoopBenchmark(
+    name="countdown",
+    source=(
+        "int main(int n) {\n"
+        "    int j = 10;\n"
+        "    int hits = 0;\n"
+        "    assume(n == 0);\n"
+        "    while (j > n) {\n"
+        "        j = j - 3;\n"  # fault: should be j - 2
+        "        hits = hits + 1;\n"
+        "    }\n"
+        "    assert(hits == 5);\n"
+        "    return hits;\n"
+        "}\n"
+    ),
+    failing_test=(0,),
+    fault_lines=(6,),
+    description="decreasing counter, fault in the induction step",
+)
+
+# Varying limit bounded by an assume: the pass proves the interval bound
+# [1, 7], so planning unrolls 7 of the default 16 iterations.
+BOUNDED_FILL = LoopBenchmark(
+    name="bounded_fill",
+    source=(
+        "int main(int n) {\n"
+        "    int i = 0;\n"
+        "    int acc = 0;\n"
+        "    assume(n > 0 && n < 8);\n"
+        "    while (i < n) {\n"
+        "        acc = acc + 4;\n"  # fault: should be acc + 3
+        "        i = i + 1;\n"
+        "    }\n"
+        "    assert(acc == 3 * n);\n"
+        "    return acc;\n"
+        "}\n"
+    ),
+    failing_test=(2,),
+    fault_lines=(6,),
+    description="assume-bounded limit, fault in the body accumulation",
+)
+
+# Nested constant-bound loops; the seeded fault widens the inner guard, so
+# the total runs to 16 instead of 12.  Both loops get exact plans.
+NESTED_TOTAL = LoopBenchmark(
+    name="nested_total",
+    source=(
+        "int main(int x) {\n"
+        "    int i = 0;\n"
+        "    int total = 0;\n"
+        "    assume(x == 1);\n"
+        "    while (i < 4) {\n"
+        "        int k = 0;\n"
+        "        while (k < 4) {\n"  # fault: should be k < 3
+        "            total = total + x;\n"
+        "            k = k + 1;\n"
+        "        }\n"
+        "        i = i + 1;\n"
+        "    }\n"
+        "    assert(total == 12);\n"
+        "    return total;\n"
+        "}\n"
+    ),
+    failing_test=(1,),
+    fault_lines=(7,),
+    description="nested constant bounds, fault in the inner loop guard",
+)
+
+# Every iteration of the body compounds the fault; with iteration-aware
+# grouping, relaxing any single iteration's copy of line 6 repairs the
+# run, so candidates carry explicit (line, iteration) pairs.
+DRIFTING_ACC = LoopBenchmark(
+    name="drifting_acc",
+    source=(
+        "int main(int v) {\n"
+        "    int i = 0;\n"
+        "    int acc = 0;\n"
+        "    assume(v == 3);\n"
+        "    while (i < 6) {\n"
+        "        acc = acc + v + i;\n"  # fault: should be acc + v
+        "        i = i + 1;\n"
+        "    }\n"
+        "    assert(acc == 18);\n"
+        "    return acc;\n"
+        "}\n"
+    ),
+    failing_test=(3,),
+    fault_lines=(6,),
+    description="per-iteration drift, localized with iteration groups",
+)
+
+LOOP_BENCHMARKS: tuple[LoopBenchmark, ...] = (
+    SCALE_SUM,
+    COUNTDOWN,
+    BOUNDED_FILL,
+    NESTED_TOTAL,
+    DRIFTING_ACC,
+)
+
+__all__ = ["LoopBenchmark", "LOOP_BENCHMARKS"]

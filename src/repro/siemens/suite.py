@@ -243,6 +243,11 @@ class LargeBenchmarkResult:
     #: Whether a declined warm compile failed a precondition up front
     #: (before paying for impact analysis or any journal replay).
     splice_declined_early: bool = False
+    #: Clauses the per-loop unwind plans removed from the whole-program
+    #: encoding: flat compile minus the ``unwind_planning`` compile.
+    unwind_pruned_clauses: int = 0
+    #: Loops the loop-bound analysis proved a bound for (and so planned).
+    planned_loops: int = 0
 
 
 def run_large_benchmark(benchmark, max_candidates: int = 8) -> LargeBenchmarkResult:
@@ -298,6 +303,16 @@ def _run_large_benchmark(benchmark, max_candidates: int) -> LargeBenchmarkResult
         for phase, seconds in cold_profile.get("encode_phases", {}).items()
     }
     cold_signature = cold_compiled.signature
+    # Per-loop unwind planning on the same whole-program encode: the clause
+    # gap is what proven loop bounds bought on this row.
+    planned_compiled = BoundedModelChecker(
+        faulty, group_statements=True, unwind_planning=True
+    ).compile_program()
+    result.unwind_pruned_clauses = (
+        cold_compiled.num_clauses - planned_compiled.num_clauses
+    )
+    result.planned_loops = planned_compiled.planned_loops
+    del planned_compiled
     reference_compiled = BoundedModelChecker(
         benchmark.reference_program(), group_statements=True
     ).compile_program()
